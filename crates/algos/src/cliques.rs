@@ -1,0 +1,130 @@
+//! Bron–Kerbosch maximal clique enumeration with pivoting.
+
+use std::collections::BTreeSet;
+
+/// Enumerate all maximal cliques of the undirected graph with `n` vertices
+/// and edge list `edges` (self-loops and duplicates tolerated). Cliques are
+/// returned as sorted vertex lists, in a deterministic order.
+pub fn bron_kerbosch(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for &(a, b) in edges {
+        if a != b && a < n && b < n {
+            adj[a].insert(b);
+            adj[b].insert(a);
+        }
+    }
+    let mut out = Vec::new();
+    let mut r = Vec::new();
+    let p: BTreeSet<usize> = (0..n).collect();
+    let x = BTreeSet::new();
+    bk(&adj, &mut r, p, x, &mut out);
+    out.sort();
+    out
+}
+
+fn bk(
+    adj: &[BTreeSet<usize>],
+    r: &mut Vec<usize>,
+    mut p: BTreeSet<usize>,
+    mut x: BTreeSet<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if p.is_empty() && x.is_empty() {
+        let mut clique = r.clone();
+        clique.sort();
+        out.push(clique);
+        return;
+    }
+    // Pivot: vertex in P ∪ X with the most neighbours in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| adj[u].intersection(&p).count())
+        .unwrap();
+    let candidates: Vec<usize> = p.difference(&adj[pivot]).copied().collect();
+    for v in candidates {
+        r.push(v);
+        let np: BTreeSet<usize> = p.intersection(&adj[v]).copied().collect();
+        let nx: BTreeSet<usize> = x.intersection(&adj[v]).copied().collect();
+        bk(adj, r, np, nx, out);
+        r.pop();
+        p.remove(&v);
+        x.insert(v);
+    }
+}
+
+/// Maximal cliques of size ≥ `min_size` (the paper keeps cliques of size ≥ 2
+/// as section instance groups, §5.6).
+pub fn cliques_of_size(n: usize, edges: &[(usize, usize)], min_size: usize) -> Vec<Vec<usize>> {
+    bron_kerbosch(n, edges)
+        .into_iter()
+        .filter(|c| c.len() >= min_size)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_plus_pendant() {
+        // 0-1-2 triangle, 3 attached to 2.
+        let cliques = bron_kerbosch(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(cliques, vec![vec![0, 1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn no_edges_yields_singletons() {
+        let cliques = bron_kerbosch(3, &[]);
+        assert_eq!(cliques, vec![vec![0], vec![1], vec![2]]);
+        assert!(cliques_of_size(3, &[], 2).is_empty());
+    }
+
+    #[test]
+    fn complete_graph_single_clique() {
+        let mut edges = vec![];
+        for i in 0..5 {
+            for j in i + 1..5 {
+                edges.push((i, j));
+            }
+        }
+        let cliques = bron_kerbosch(5, &edges);
+        assert_eq!(cliques, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn two_disjoint_triangles() {
+        let cliques = bron_kerbosch(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        assert_eq!(cliques, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn overlapping_cliques() {
+        // K4 minus one edge = two triangles sharing an edge.
+        let cliques = bron_kerbosch(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(cliques, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_tolerated() {
+        let cliques = bron_kerbosch(3, &[(0, 1), (1, 0), (1, 1), (1, 2)]);
+        assert_eq!(cliques, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn paper_section_grouping_shape() {
+        // 5 sample pages, each with one instance of schema A (vertices
+        // 0..5, fully connected) and two pages with schema B (5, 6 — edge).
+        let mut edges = vec![];
+        for i in 0..5usize {
+            for j in i + 1..5 {
+                edges.push((i, j));
+            }
+        }
+        // relabel B instances as 5 and 6
+        edges.push((5, 6));
+        let groups = cliques_of_size(7, &edges, 2);
+        assert_eq!(groups, vec![vec![0, 1, 2, 3, 4], vec![5, 6]]);
+    }
+}

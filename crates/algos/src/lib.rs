@@ -1,0 +1,17 @@
+//! # mse-algos
+//!
+//! The two classical combinatorial algorithms MSE's section-instance
+//! grouping step needs (paper §5.6):
+//!
+//! * [`stable_marriage`] — Gale–Shapley in the McVitie–Wilson formulation
+//!   \[17\], modified per the paper "to allow no match": pairs whose score is
+//!   below a threshold are never matched.
+//! * [`bron_kerbosch`] — all maximal cliques of an undirected graph \[4\],
+//!   with pivoting; MSE keeps cliques of size ≥ 2 as section instance
+//!   groups.
+
+pub mod cliques;
+pub mod marriage;
+
+pub use cliques::{bron_kerbosch, cliques_of_size};
+pub use marriage::stable_marriage;

@@ -1,0 +1,154 @@
+//! Stable marriage with scores and a no-match threshold.
+
+/// Compute a stable matching between `n` "proposers" and `m` "acceptors"
+/// given a score function (higher = better, symmetric preferences derived
+/// from the same scores on both sides). Pairs with `score < threshold` are
+/// treated as unacceptable to both sides and never matched — the paper's
+/// "minor modification to allow no match" (§5.6).
+///
+/// Returns `match_of[i] = Some(j)` for each matched proposer.
+///
+/// Stability: no unmatched acceptable pair (i, j) exists where both i and j
+/// would prefer each other over their assigned partners.
+pub fn stable_marriage<F>(n: usize, m: usize, mut score: F, threshold: f64) -> Vec<Option<usize>>
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    // Materialize scores once; the pipeline's score function is not cheap.
+    let scores: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..m).map(|j| score(i, j)).collect())
+        .collect();
+
+    // Preference lists: for each proposer, acceptable acceptors by
+    // descending score (ties broken by index for determinism).
+    let prefs: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            let mut js: Vec<usize> = (0..m).filter(|&j| scores[i][j] >= threshold).collect();
+            js.sort_by(|&a, &b| {
+                scores[i][b]
+                    .partial_cmp(&scores[i][a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            js
+        })
+        .collect();
+
+    let mut next = vec![0usize; n]; // next proposal index per proposer
+    let mut fiance: Vec<Option<usize>> = vec![None; m]; // acceptor -> proposer
+    let mut free: Vec<usize> = (0..n).rev().collect();
+
+    while let Some(i) = free.pop() {
+        while next[i] < prefs[i].len() {
+            let j = prefs[i][next[i]];
+            next[i] += 1;
+            match fiance[j] {
+                None => {
+                    fiance[j] = Some(i);
+                    break;
+                }
+                Some(cur) => {
+                    // Acceptor prefers higher score; on a tie keeps current.
+                    if scores[i][j] > scores[cur][j] {
+                        fiance[j] = Some(i);
+                        free.push(cur);
+                        break;
+                    }
+                    // rejected — try the next preference
+                }
+            }
+        }
+    }
+
+    let mut out = vec![None; n];
+    for (j, &f) in fiance.iter().enumerate() {
+        if let Some(i) = f {
+            out[i] = Some(j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_matrix(mat: &[&[f64]], threshold: f64) -> Vec<Option<usize>> {
+        let n = mat.len();
+        let m = if n > 0 { mat[0].len() } else { 0 };
+        stable_marriage(n, m, |i, j| mat[i][j], threshold)
+    }
+
+    #[test]
+    fn perfect_diagonal() {
+        let mat: &[&[f64]] = &[&[1.0, 0.1, 0.1], &[0.1, 1.0, 0.1], &[0.1, 0.1, 1.0]];
+        assert_eq!(from_matrix(mat, 0.0), vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn threshold_blocks_low_scores() {
+        let mat: &[&[f64]] = &[&[0.9, 0.2], &[0.2, 0.3]];
+        let m = from_matrix(mat, 0.5);
+        assert_eq!(m, vec![Some(0), None]);
+    }
+
+    #[test]
+    fn contention_resolved_stably() {
+        // Both proposers want acceptor 0; p0 scores higher with it.
+        let mat: &[&[f64]] = &[&[0.9, 0.5], &[0.8, 0.6]];
+        let m = from_matrix(mat, 0.0);
+        assert_eq!(m, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn more_proposers_than_acceptors() {
+        let mat: &[&[f64]] = &[&[0.9], &[0.8], &[0.7]];
+        let m = from_matrix(mat, 0.0);
+        assert_eq!(m, vec![Some(0), None, None]);
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert_eq!(
+            stable_marriage(0, 3, |_, _| 1.0, 0.0),
+            Vec::<Option<usize>>::new()
+        );
+        assert_eq!(stable_marriage(2, 0, |_, _| 1.0, 0.0), vec![None, None]);
+    }
+
+    #[test]
+    fn no_blocking_pair() {
+        // Random-ish matrix; verify stability property directly.
+        let mat: &[&[f64]] = &[
+            &[0.3, 0.7, 0.2, 0.9],
+            &[0.8, 0.1, 0.6, 0.4],
+            &[0.5, 0.5, 0.9, 0.1],
+        ];
+        let threshold = 0.25;
+        let matching = from_matrix(mat, threshold);
+        let partner_of_acceptor =
+            |j: usize| -> Option<usize> { matching.iter().position(|&x| x == Some(j)) };
+        for i in 0..3 {
+            for j in 0..4 {
+                if mat[i][j] < threshold {
+                    continue;
+                }
+                if matching[i] == Some(j) {
+                    continue;
+                }
+                let i_prefers = match matching[i] {
+                    Some(cur) => mat[i][j] > mat[i][cur],
+                    None => true,
+                };
+                let j_prefers = match partner_of_acceptor(j) {
+                    Some(cur) => mat[i][j] > mat[cur][j],
+                    None => true,
+                };
+                assert!(
+                    !(i_prefers && j_prefers),
+                    "blocking pair ({i},{j}) in {matching:?}"
+                );
+            }
+        }
+    }
+}

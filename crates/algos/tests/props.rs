@@ -1,0 +1,91 @@
+//! Property tests: stability of the marriage output, and Bron–Kerbosch
+//! cross-checked against brute force on small graphs.
+
+use mse_algos::{bron_kerbosch, stable_marriage};
+use proptest::prelude::*;
+
+fn arb_scores(n: usize, m: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, m), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No blocking pair exists in the output — the defining property.
+    #[test]
+    fn marriage_is_stable(scores in (1usize..6, 1usize..6).prop_flat_map(|(n, m)| arb_scores(n, m)), threshold in 0.0f64..1.0) {
+        let n = scores.len();
+        let m = scores[0].len();
+        let matching = stable_marriage(n, m, |i, j| scores[i][j], threshold);
+        // Output is a partial injection.
+        let mut used = std::collections::HashSet::new();
+        for j in matching.iter().flatten() {
+            prop_assert!(used.insert(*j), "acceptor matched twice");
+            prop_assert!(*j < m);
+        }
+        // Matched pairs meet the threshold.
+        for (i, mj) in matching.iter().enumerate() {
+            if let Some(j) = mj {
+                prop_assert!(scores[i][*j] >= threshold);
+            }
+        }
+        // No blocking pair.
+        let partner_of = |j: usize| matching.iter().position(|&x| x == Some(j));
+        for i in 0..n {
+            for j in 0..m {
+                if scores[i][j] < threshold || matching[i] == Some(j) {
+                    continue;
+                }
+                let i_prefers = match matching[i] {
+                    Some(cur) => scores[i][j] > scores[i][cur],
+                    None => true,
+                };
+                let j_prefers = match partner_of(j) {
+                    Some(cur) => scores[i][j] > scores[cur][j],
+                    None => true,
+                };
+                prop_assert!(!(i_prefers && j_prefers), "blocking pair ({i},{j})");
+            }
+        }
+    }
+
+    /// Bron–Kerbosch output equals brute-force maximal clique enumeration
+    /// on graphs of up to 8 vertices.
+    #[test]
+    fn bk_matches_brute_force(n in 1usize..8, edge_bits in any::<u64>()) {
+        // Decode an edge set from bits.
+        let mut edges = Vec::new();
+        let mut bit = 0;
+        for a in 0..n {
+            for b in a + 1..n {
+                if edge_bits >> (bit % 64) & 1 == 1 {
+                    edges.push((a, b));
+                }
+                bit += 1;
+            }
+        }
+        let adj = |a: usize, b: usize| edges.contains(&(a.min(b), a.max(b)));
+
+        // Brute force: all subsets that are cliques and maximal.
+        let mut brute: Vec<Vec<usize>> = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let verts: Vec<usize> = (0..n).filter(|&v| mask >> v & 1 == 1).collect();
+            let is_clique = verts
+                .iter()
+                .enumerate()
+                .all(|(k, &a)| verts[k + 1..].iter().all(|&b| adj(a, b)));
+            if !is_clique {
+                continue;
+            }
+            let maximal = (0..n).filter(|v| !verts.contains(v)).all(|v| {
+                !verts.iter().all(|&u| adj(u, v))
+            });
+            if maximal {
+                brute.push(verts);
+            }
+        }
+        brute.sort();
+        let got = bron_kerbosch(n, &edges);
+        prop_assert_eq!(got, brute);
+    }
+}

@@ -1,0 +1,24 @@
+//! # mse-annotate
+//!
+//! Data annotation — the third task in the paper's §1 taxonomy of complete
+//! web data extraction ("the third is *data annotation*, i.e., identify
+//! and annotate each data unit within each record"), which the paper
+//! leaves to future work and cites DeLa \[24\] for. This crate provides a
+//! practical annotator over MSE's extraction output: it assigns a
+//! semantic role to every content line of every record.
+//!
+//! Two layers:
+//!
+//! * [`classify_line`] — per-line heuristics over text shape and visual
+//!   features (link-ness, digits/date/price patterns, position within the
+//!   record);
+//! * [`AnnotationModel`] — a per-section-schema model learned from many
+//!   extracted records: the majority role at each record-line offset for
+//!   each observed record shape. Smooths per-line mistakes exactly the way
+//!   wrapper induction smooths per-page noise.
+
+pub mod model;
+pub mod roles;
+
+pub use model::{annotate_extraction, AnnotatedRecord, AnnotationModel};
+pub use roles::{classify_line, LineFacts, Role};

@@ -1,0 +1,216 @@
+//! Schema-level annotation models.
+//!
+//! Per-line heuristics make occasional mistakes; records of one section
+//! schema share a layout, so the model votes roles *per record shape and
+//! line offset* across many records and then applies the majority role —
+//! the same smoothing idea wrapper induction applies to page noise.
+
+use crate::roles::{classify_line, LineFacts, Role};
+use mse_core::{ExtractedSection, Extraction};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An annotated record: each line paired with its role.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnotatedRecord {
+    pub lines: Vec<(String, Role)>,
+}
+
+impl AnnotatedRecord {
+    /// First line with the given role, if any.
+    pub fn field(&self, role: Role) -> Option<&str> {
+        self.lines
+            .iter()
+            .find(|(_, r)| *r == role)
+            .map(|(t, _)| t.as_str())
+    }
+}
+
+/// Majority-vote role model keyed by "record-length:line-offset" (string
+/// keys so the model serializes to plain JSON maps).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AnnotationModel {
+    votes: BTreeMap<String, BTreeMap<RoleKey, usize>>,
+}
+
+fn slot(record_len: usize, offset: usize) -> String {
+    format!("{record_len}:{offset}")
+}
+
+/// `Role` is not `Ord`; use its debug name as a stable map key.
+type RoleKey = String;
+
+fn key(r: Role) -> RoleKey {
+    format!("{r:?}")
+}
+
+fn unkey(k: &str) -> Role {
+    match k {
+        "Title" => Role::Title,
+        "Snippet" => Role::Snippet,
+        "Url" => Role::Url,
+        "Date" => Role::Date,
+        "Price" => Role::Price,
+        "Rank" => Role::Rank,
+        "Contact" => Role::Contact,
+        "Image" => Role::Image,
+        _ => Role::Other,
+    }
+}
+
+impl AnnotationModel {
+    /// Accumulate votes from one extracted section's records.
+    pub fn observe_section(&mut self, section: &ExtractedSection) {
+        for rec in &section.records {
+            let n = rec.lines.len();
+            for (offset, text) in rec.lines.iter().enumerate() {
+                let facts = facts_for(text, offset, n);
+                let role = classify_line(&facts);
+                *self
+                    .votes
+                    .entry(slot(n, offset))
+                    .or_default()
+                    .entry(key(role))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Majority role for (record length, offset), falling back to the
+    /// per-line heuristic when the shape was never observed.
+    pub fn role_at(&self, record_len: usize, offset: usize, text: &str) -> Role {
+        if let Some(votes) = self.votes.get(&slot(record_len, offset)) {
+            if let Some((k, _)) = votes.iter().max_by_key(|(_, c)| **c) {
+                return unkey(k);
+            }
+        }
+        classify_line(&facts_for(text, offset, record_len))
+    }
+
+    /// Annotate every record of an extraction.
+    pub fn annotate(&self, ex: &Extraction) -> Vec<Vec<AnnotatedRecord>> {
+        ex.sections
+            .iter()
+            .map(|s| {
+                s.records
+                    .iter()
+                    .map(|r| AnnotatedRecord {
+                        lines: r
+                            .lines
+                            .iter()
+                            .enumerate()
+                            .map(|(o, t)| (t.clone(), self.role_at(r.lines.len(), o, t)))
+                            .collect(),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+fn facts_for(text: &str, offset: usize, record_len: usize) -> LineFacts {
+    LineFacts {
+        text: text.to_string(),
+        // Extraction line texts don't carry link flags; approximate:
+        // the record's first line is (in SERPs, near-universally) its
+        // anchor.
+        all_link: offset == 0,
+        has_link: offset == 0,
+        image_only: text == "[IMG]",
+        offset,
+        record_len,
+    }
+}
+
+/// One-shot: learn a model from an extraction and annotate it.
+pub fn annotate_extraction(ex: &Extraction) -> (AnnotationModel, Vec<Vec<AnnotatedRecord>>) {
+    let mut model = AnnotationModel::default();
+    for s in &ex.sections {
+        model.observe_section(s);
+    }
+    let annotated = model.annotate(ex);
+    (model, annotated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mse_core::{ExtractedRecord, SchemaId};
+
+    fn section(records: &[&[&str]]) -> ExtractedSection {
+        ExtractedSection {
+            schema: SchemaId::Wrapper(0),
+            start: 0,
+            end: 0,
+            records: records
+                .iter()
+                .map(|lines| ExtractedRecord {
+                    start: 0,
+                    end: 0,
+                    lines: lines.iter().map(|s| s.to_string()).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn majority_smooths_odd_lines() {
+        // Three records; the middle one's snippet happens to look like a
+        // date, but the (3, 1) offset votes Snippet 2:1.
+        let sec = section(&[
+            &["Alpha guide", "a practical guide to things", "www.x.com/a"],
+            &[
+                "Beta guide",
+                "updated 3/14/2004 2/2/2005 1/1/2001",
+                "www.x.com/b",
+            ],
+            &[
+                "Gamma guide",
+                "another long snippet of plain text",
+                "www.x.com/c",
+            ],
+        ]);
+        let mut m = AnnotationModel::default();
+        m.observe_section(&sec);
+        assert_eq!(m.role_at(3, 0, "whatever"), Role::Title);
+        assert_eq!(
+            m.role_at(3, 1, "updated 3/14/2004 2/2/2005 1/1/2001"),
+            Role::Snippet
+        );
+        assert_eq!(m.role_at(3, 2, "www.x.com/b"), Role::Url);
+    }
+
+    #[test]
+    fn annotate_extraction_end_to_end() {
+        let ex = Extraction {
+            sections: vec![section(&[
+                &["Alpha title", "first snippet body text", "www.s.com/a"],
+                &["Beta title", "second snippet body text", "www.s.com/b"],
+            ])],
+        };
+        let (_, annotated) = annotate_extraction(&ex);
+        assert_eq!(annotated.len(), 1);
+        let rec = &annotated[0][0];
+        assert_eq!(rec.field(Role::Title), Some("Alpha title"));
+        assert_eq!(rec.field(Role::Url), Some("www.s.com/a"));
+        assert_eq!(rec.field(Role::Snippet), Some("first snippet body text"));
+        assert_eq!(rec.field(Role::Price), None);
+    }
+
+    #[test]
+    fn unseen_shape_falls_back_to_heuristic() {
+        let m = AnnotationModel::default();
+        assert_eq!(m.role_at(5, 2, "$9.99"), Role::Price);
+        assert_eq!(m.role_at(4, 3, "3/4/2002"), Role::Date);
+    }
+
+    #[test]
+    fn model_serializes() {
+        let sec = section(&[&["T one", "body text snippet here", "www.a.com/x"]]);
+        let mut m = AnnotationModel::default();
+        m.observe_section(&sec);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: AnnotationModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.role_at(3, 2, "www.a.com/x"), Role::Url);
+    }
+}

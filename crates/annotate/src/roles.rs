@@ -1,0 +1,217 @@
+//! Per-line role classification.
+
+use serde::{Deserialize, Serialize};
+
+/// Semantic role of one content line within a search result record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// The record's main anchor — usually the first link line.
+    Title,
+    /// Descriptive text (snippet / summary / caption).
+    Snippet,
+    /// A displayed URL.
+    Url,
+    /// A date (or source + date byline).
+    Date,
+    /// A price ("$12.99", "Buy new: $8.50").
+    Price,
+    /// A rank / ordinal marker ("3.").
+    Rank,
+    /// Contact information (phone numbers, addresses).
+    Contact,
+    /// An image-only line (thumbnail).
+    Image,
+    /// Anything else.
+    Other,
+}
+
+/// The visual facts the classifier consumes — decoupled from
+/// `mse_render::ContentLine` so the classifier is testable standalone.
+#[derive(Clone, Debug, Default)]
+pub struct LineFacts {
+    pub text: String,
+    /// Entirely link text?
+    pub all_link: bool,
+    /// Contains any link text?
+    pub has_link: bool,
+    /// Image-only line?
+    pub image_only: bool,
+    /// 0-based offset of the line within its record.
+    pub offset: usize,
+    /// Total lines in the record.
+    pub record_len: usize,
+}
+
+/// Heuristic single-line classification.
+pub fn classify_line(f: &LineFacts) -> Role {
+    if f.image_only {
+        return Role::Image;
+    }
+    let t = f.text.trim();
+    if t.is_empty() {
+        return Role::Other;
+    }
+    if looks_like_rank(t) {
+        return Role::Rank;
+    }
+    if looks_like_price(t) {
+        return Role::Price;
+    }
+    if looks_like_phone(t) {
+        return Role::Contact;
+    }
+    if looks_like_date(t) {
+        return Role::Date;
+    }
+    if looks_like_url(t) {
+        return Role::Url;
+    }
+    // The first link line of a record is its title.
+    if f.has_link && f.offset == 0 {
+        return Role::Title;
+    }
+    if f.all_link {
+        // A later all-link line: could be a title in single-line records.
+        return if f.record_len == 1 {
+            Role::Title
+        } else {
+            Role::Other
+        };
+    }
+    // Plain multi-word text → snippet.
+    if t.split_whitespace().count() >= 3 {
+        return Role::Snippet;
+    }
+    Role::Other
+}
+
+fn digit_frac(t: &str) -> f64 {
+    let total = t.chars().filter(|c| !c.is_whitespace()).count();
+    if total == 0 {
+        return 0.0;
+    }
+    t.chars().filter(|c| c.is_ascii_digit()).count() as f64 / total as f64
+}
+
+/// "3." / "17." — an ordinal marker.
+fn looks_like_rank(t: &str) -> bool {
+    let body = t.strip_suffix('.').unwrap_or(t);
+    !body.is_empty() && body.len() <= 3 && body.chars().all(|c| c.is_ascii_digit())
+}
+
+/// "$12.99", "Buy new: $8.50", "USD 4.20".
+fn looks_like_price(t: &str) -> bool {
+    (t.contains('$') || t.to_ascii_lowercase().contains("usd")) && digit_frac(t) > 0.15
+}
+
+/// "(607) 777-1234", "Phone: 555-0101".
+fn looks_like_phone(t: &str) -> bool {
+    let lower = t.to_ascii_lowercase();
+    let digits = t.chars().filter(|c| c.is_ascii_digit()).count();
+    (lower.contains("phone") || lower.contains("tel")) && digits >= 7
+        || (digits >= 10
+            && t.chars()
+                .all(|c| c.is_ascii_digit() || "()- .+".contains(c)))
+}
+
+/// "3/14/2004", "2004-03-14", "Reuters, 3/14/2004".
+fn looks_like_date(t: &str) -> bool {
+    let has_year = t
+        .split(|c: char| !c.is_ascii_digit())
+        .filter_map(|w| w.parse::<u32>().ok())
+        .any(|n| (1900..=2099).contains(&n));
+    let seps = t.matches(['/', '-']).count();
+    has_year && seps >= 2 && digit_frac(t) > 0.25 && t.len() < 40
+        || (has_year && seps >= 2 && t.split_whitespace().count() <= 4)
+}
+
+/// "www.site.com/doc/x.html", "http://site.com/a" — URL-shaped text.
+fn looks_like_url(t: &str) -> bool {
+    let lower = t.to_ascii_lowercase();
+    if t.split_whitespace().count() != 1 {
+        return false;
+    }
+    lower.starts_with("http://")
+        || lower.starts_with("https://")
+        || lower.starts_with("www.")
+        || (lower.contains('/') && lower.contains('.') && !lower.contains(' '))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(text: &str) -> LineFacts {
+        LineFacts {
+            text: text.into(),
+            offset: 1,
+            record_len: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn titles_are_first_link_lines() {
+        let facts = LineFacts {
+            text: "Knee Injury Guide".into(),
+            all_link: true,
+            has_link: true,
+            offset: 0,
+            record_len: 3,
+            ..Default::default()
+        };
+        assert_eq!(classify_line(&facts), Role::Title);
+    }
+
+    #[test]
+    fn urls() {
+        assert_eq!(classify_line(&f("www.site.com/doc/a.html")), Role::Url);
+        assert_eq!(classify_line(&f("http://x.org/y")), Role::Url);
+        assert_ne!(classify_line(&f("read the www guide here")), Role::Url);
+    }
+
+    #[test]
+    fn dates() {
+        assert_eq!(classify_line(&f("3/14/2004")), Role::Date);
+        assert_eq!(classify_line(&f("Reuters, 12/1/2003")), Role::Date);
+        assert_ne!(classify_line(&f("version 2.3.1 released")), Role::Date);
+    }
+
+    #[test]
+    fn prices() {
+        assert_eq!(classify_line(&f("$12.99")), Role::Price);
+        assert_eq!(classify_line(&f("Buy new: $8.50")), Role::Price);
+        assert_ne!(classify_line(&f("$ave big today")), Role::Price);
+    }
+
+    #[test]
+    fn ranks() {
+        assert_eq!(classify_line(&f("3.")), Role::Rank);
+        assert_eq!(classify_line(&f("42.")), Role::Rank);
+        assert_ne!(classify_line(&f("3.14 is pi")), Role::Rank);
+    }
+
+    #[test]
+    fn contacts() {
+        assert_eq!(classify_line(&f("Phone: (607) 777-1234")), Role::Contact);
+        assert_eq!(classify_line(&f("607 777 1234")), Role::Contact);
+    }
+
+    #[test]
+    fn snippets_are_plain_multiword_text() {
+        assert_eq!(
+            classify_line(&f("a practical guide to knee injuries and recovery")),
+            Role::Snippet
+        );
+    }
+
+    #[test]
+    fn images_and_empty() {
+        let facts = LineFacts {
+            image_only: true,
+            ..Default::default()
+        };
+        assert_eq!(classify_line(&facts), Role::Image);
+        assert_eq!(classify_line(&f("   ")), Role::Other);
+    }
+}

@@ -1,0 +1,20 @@
+//! # mse-baselines
+//!
+//! Comparison baselines for the MSE reproduction (DESIGN.md B1/B2):
+//!
+//! * [`mdr`] — MDR (Liu, Grossman, Zhai, KDD'03), the only prior system
+//!   the paper credits with multi-section output. Unsupervised, per-page,
+//!   no static/dynamic distinction, needs ≥ 2 similar records.
+//! * [`omini`] — an Omini-style extractor (Buttler, Liu, Pu, ICDCS'01):
+//!   single data-rich subtree + tag-separator heuristics.
+//! * [`single`] — ViNTs-mode MSE: the full pipeline restricted to
+//!   the single dominant section per page, modelling the paper's citation
+//!   \[29\] assumption that "there exists only one section to be extracted".
+
+pub mod mdr;
+pub mod omini;
+pub mod single;
+
+pub use mdr::{mdr_extract, mdr_regions, MdrConfig, MdrRegion};
+pub use omini::omini_extract;
+pub use single::single_section_extract;

@@ -1,0 +1,299 @@
+//! MDR — Mining Data Records in Web Pages (Liu, Grossman, Zhai, KDD 2003)
+//! — the only prior system the paper credits with multi-section output
+//! (§7), reimplemented as the B1 comparison baseline.
+//!
+//! MDR walks the tag tree and, at every node, compares *generalized nodes*
+//! (combinations of k adjacent children, k = 1..K) by tree edit distance;
+//! maximal runs of similar adjacent combinations are *data regions* and
+//! each combination is a record. MDR is unsupervised and per-page: it
+//! does not learn a wrapper, does not distinguish dynamic from static
+//! content (navigation menus come out as regions), and needs at least two
+//! similar records to fire — the three weaknesses the paper's §7 names.
+
+use mse_core::{ExtractedRecord, ExtractedSection, Extraction, SchemaId};
+use mse_dom::{Dom, NodeId, NodeKind};
+use mse_render::RenderedPage;
+use mse_treedit::{forest_distance, TagTree};
+
+/// MDR parameters.
+#[derive(Clone, Debug)]
+pub struct MdrConfig {
+    /// Maximum generalized-node size (the MDR paper uses up to 10; real
+    /// records rarely span more than 4 siblings).
+    pub max_k: usize,
+    /// Maximum normalized edit distance for two generalized nodes to be
+    /// "similar" (MDR's 30%).
+    pub sim_threshold: f64,
+    /// Minimum children a node needs to host a region.
+    pub min_children: usize,
+}
+
+impl Default for MdrConfig {
+    fn default() -> Self {
+        MdrConfig {
+            max_k: 4,
+            sim_threshold: 0.3,
+            min_children: 2,
+        }
+    }
+}
+
+/// A detected data region.
+#[derive(Clone, Debug)]
+pub struct MdrRegion {
+    pub parent: NodeId,
+    /// Each record is a run of `k` adjacent children.
+    pub records: Vec<Vec<NodeId>>,
+}
+
+fn content_children(dom: &Dom, n: NodeId) -> Vec<NodeId> {
+    dom.children(n)
+        .filter(|&c| match &dom[c].kind {
+            NodeKind::Element { .. } => true,
+            NodeKind::Text(t) => !t.trim().is_empty(),
+            _ => false,
+        })
+        .collect()
+}
+
+/// Find all data regions in a document.
+pub fn mdr_regions(dom: &Dom, cfg: &MdrConfig) -> Vec<MdrRegion> {
+    let mut regions: Vec<MdrRegion> = Vec::new();
+    let body = dom.find_tag("body").unwrap_or_else(|| dom.root());
+    walk(dom, cfg, body, &mut regions);
+    regions
+}
+
+fn walk(dom: &Dom, cfg: &MdrConfig, node: NodeId, out: &mut Vec<MdrRegion>) {
+    let kids = content_children(dom, node);
+    let found = if kids.len() >= cfg.min_children {
+        identify_region(dom, cfg, &kids)
+    } else {
+        None
+    };
+    match found {
+        Some(region) => {
+            // MDR prunes nested regions: children covered by a record are
+            // not searched again, uncovered children are.
+            let covered: Vec<NodeId> = region.records.iter().flatten().copied().collect();
+            out.push(MdrRegion {
+                parent: node,
+                records: region.records,
+            });
+            for k in kids {
+                if !covered.contains(&k) {
+                    walk(dom, cfg, k, out);
+                }
+            }
+        }
+        None => {
+            for k in kids {
+                walk(dom, cfg, k, out);
+            }
+        }
+    }
+}
+
+struct FoundRegion {
+    records: Vec<Vec<NodeId>>,
+    covered: usize,
+}
+
+/// The MDR combination comparison at one node: try every (k, phase), find
+/// the maximal run of similar adjacent k-grams, keep the candidate that
+/// covers the most children (ties → smaller k).
+fn identify_region(dom: &Dom, cfg: &MdrConfig, kids: &[NodeId]) -> Option<FoundRegion> {
+    let trees: Vec<TagTree> = kids.iter().map(|&k| TagTree::from_dom(dom, k)).collect();
+    let mut best: Option<(usize, FoundRegion)> = None; // (k, region)
+    for k in 1..=cfg.max_k.min(kids.len() / 2) {
+        for phase in 0..k {
+            let mut grams: Vec<(usize, usize)> = Vec::new(); // [start, end)
+            let mut s = phase;
+            while s + k <= kids.len() {
+                grams.push((s, s + k));
+                s += k;
+            }
+            if grams.len() < 2 {
+                continue;
+            }
+            // Maximal similar run.
+            let mut run_start = 0;
+            while run_start + 1 < grams.len() {
+                let mut run_end = run_start;
+                while run_end + 1 < grams.len()
+                    && similar(
+                        &trees,
+                        grams[run_end],
+                        grams[run_end + 1],
+                        cfg.sim_threshold,
+                    )
+                {
+                    run_end += 1;
+                }
+                if run_end > run_start {
+                    let records: Vec<Vec<NodeId>> = (run_start..=run_end)
+                        .map(|g| kids[grams[g].0..grams[g].1].to_vec())
+                        .collect();
+                    let covered = records.iter().map(Vec::len).sum();
+                    let cand = FoundRegion { records, covered };
+                    let better = match &best {
+                        None => true,
+                        Some((bk, b)) => {
+                            cand.covered > b.covered || (cand.covered == b.covered && k < *bk)
+                        }
+                    };
+                    if better {
+                        best = Some((k, cand));
+                    }
+                    run_start = run_end + 1;
+                } else {
+                    run_start += 1;
+                }
+            }
+        }
+    }
+    best.map(|(_, r)| r)
+}
+
+fn similar(trees: &[TagTree], a: (usize, usize), b: (usize, usize), threshold: f64) -> bool {
+    let fa = &trees[a.0..a.1];
+    let fb = &trees[b.0..b.1];
+    forest_distance(fa, fb) <= threshold
+}
+
+/// Run MDR on a page and report its regions in the pipeline's
+/// [`Extraction`] format so the shared scorer applies.
+pub fn mdr_extract(html: &str, cfg: &MdrConfig) -> Extraction {
+    let page = RenderedPage::from_html(html);
+    let regions = mdr_regions(&page.dom, cfg);
+    let mut sections = Vec::new();
+    for (i, region) in regions.iter().enumerate() {
+        let mut records = Vec::new();
+        for rec in &region.records {
+            if let Some((lo, hi)) = lines_of(&page, rec) {
+                let lines = page.lines[lo..hi]
+                    .iter()
+                    .map(|l| match l.ltype {
+                        mse_render::LineType::Hr => "[HR]".to_string(),
+                        mse_render::LineType::Image if l.text.is_empty() => "[IMG]".to_string(),
+                        _ => l.text.clone(),
+                    })
+                    .collect();
+                records.push(ExtractedRecord {
+                    start: lo,
+                    end: hi,
+                    lines,
+                });
+            }
+        }
+        if !records.is_empty() {
+            let start = records.first().unwrap().start;
+            let end = records.last().unwrap().end;
+            sections.push(ExtractedSection {
+                schema: SchemaId::Wrapper(i),
+                start,
+                end,
+                records,
+            });
+        }
+    }
+    sections.sort_by_key(|s| s.start);
+    Extraction { sections }
+}
+
+fn lines_of(page: &RenderedPage, nodes: &[NodeId]) -> Option<(usize, usize)> {
+    let mut lo = None;
+    let mut hi = None;
+    for (idx, line) in page.lines.iter().enumerate() {
+        let covered = line.leaves.iter().any(|&leaf| {
+            nodes
+                .iter()
+                .any(|&n| n == leaf || page.dom.is_ancestor(n, leaf))
+        });
+        if covered {
+            if lo.is_none() {
+                lo = Some(idx);
+            }
+            hi = Some(idx + 1);
+        }
+    }
+    Some((lo?, hi?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mse_dom::parse;
+
+    #[test]
+    fn finds_uniform_table_region() {
+        let html = "<body><table>\
+            <tr><td><a href=1>alpha</a><br>s1</td></tr>\
+            <tr><td><a href=2>beta</a><br>s2</td></tr>\
+            <tr><td><a href=3>gamma</a><br>s3</td></tr>\
+            </table></body>";
+        let dom = parse(html);
+        let regions = mdr_regions(&dom, &MdrConfig::default());
+        assert_eq!(regions.len(), 1, "{regions:?}");
+        assert_eq!(regions[0].records.len(), 3);
+        assert!(regions[0].records.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn two_row_records_split_at_k1_an_authentic_mdr_error() {
+        // Records spanning a title row + snippet row. At MDR's 30%
+        // edit-distance threshold the two row types are "similar" (one
+        // rename in a four-node tree = 0.25), so MDR picks k=1 and emits
+        // every row as a record — exactly the record-boundary error class
+        // the MSE paper's cohesion measure is built to avoid.
+        let mut html = String::from("<body><table>");
+        for i in 0..4 {
+            html.push_str(&format!(
+                "<tr><td><a href=/r{i}>title {i}</a></td></tr><tr><td><font>snippet {i}</font></td></tr>"
+            ));
+        }
+        html.push_str("</table></body>");
+        let dom = parse(&html);
+        let regions = mdr_regions(&dom, &MdrConfig::default());
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].records.len(), 8, "{regions:?}");
+        // With a stricter threshold the k=2 structure is recovered.
+        let strict = MdrConfig {
+            sim_threshold: 0.2,
+            ..MdrConfig::default()
+        };
+        let regions = mdr_regions(&dom, &strict);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].records.len(), 4, "{regions:?}");
+        assert!(regions[0].records.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn extracts_static_nav_too() {
+        // MDR's known weakness (paper §7): static repeating content is
+        // indistinguishable from records.
+        let html = "<body><div class=nav>\
+            <div><a href=/a>Alpha</a></div><div><a href=/b>Beta</a></div>\
+            <div><a href=/c>Gamma</a></div></div>\
+            <table><tr><td><a href=1>r1</a><br>s1</td></tr>\
+            <tr><td><a href=2>r2</a><br>s2</td></tr></table></body>";
+        let ex = mdr_extract(html, &MdrConfig::default());
+        assert!(ex.sections.len() >= 2, "{ex:?}");
+    }
+
+    #[test]
+    fn single_record_invisible_to_mdr() {
+        // MDR needs ≥ 2 similar records (the paper's other stated
+        // weakness; MSE extracts even one).
+        let html = "<body><div class=results>\
+            <div class=r><a href=1>only title</a><br>only snippet</div></div></body>";
+        let ex = mdr_extract(html, &MdrConfig::default());
+        assert!(ex.sections.is_empty(), "{ex:?}");
+    }
+
+    #[test]
+    fn empty_page() {
+        let ex = mdr_extract("<body></body>", &MdrConfig::default());
+        assert!(ex.sections.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Omini-style baseline (Buttler, Liu, Pu — ICDCS 2001), the paper's §7
+//! "minimum data-rich sub-tree + separator heuristics" family.
+//!
+//! Omini assumes a *single* data-rich region: it locates the subtree with
+//! the highest content fan-out (many children, much text — our combined
+//! heuristic stands in for Omini's five-heuristic rank), then picks a
+//! separator tag by heuristics (here: the most frequent child tag) and
+//! splits the subtree into records. Its §7 weaknesses are structural:
+//! only one section, no static/dynamic distinction, tag-level separators
+//! only.
+
+use mse_core::{ExtractedRecord, ExtractedSection, Extraction, SchemaId};
+use mse_dom::{Dom, NodeId, NodeKind};
+use mse_render::RenderedPage;
+use std::collections::BTreeMap;
+
+/// Find the "data-rich" subtree: maximize (#content children) × (text volume
+/// share), a stand-in for Omini's subtree-ranking heuristics.
+fn data_rich_subtree(dom: &Dom) -> Option<NodeId> {
+    let body = dom.find_tag("body")?;
+    let total_text = dom.text_of(body).len().max(1);
+    dom.preorder(body)
+        .filter(|&n| dom[n].is_element())
+        .map(|n| {
+            let kids = dom.children(n).filter(|&c| dom[c].is_element()).count();
+            let text = dom.text_of(n).len();
+            let score = kids as f64 * (text as f64 / total_text as f64);
+            (n, score)
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(n, _)| n)
+}
+
+/// The separator tag: the most frequent element tag among the subtree's
+/// children (Omini's combined separator heuristic, simplified).
+fn separator_tag(dom: &Dom, node: NodeId) -> Option<String> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for c in dom.children(node) {
+        if let NodeKind::Element { tag, .. } = &dom[c].kind {
+            *counts.entry(tag.as_str()).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|(_, c)| *c)
+        .filter(|(_, c)| *c >= 2)
+        .map(|(t, _)| t.to_string())
+}
+
+/// Run the Omini-style extractor on a page: at most one section.
+pub fn omini_extract(html: &str) -> Extraction {
+    let page = RenderedPage::from_html(html);
+    let Some(region) = data_rich_subtree(&page.dom) else {
+        return Extraction::default();
+    };
+    let Some(sep) = separator_tag(&page.dom, region) else {
+        return Extraction::default();
+    };
+
+    // Records: runs of children opened by each separator-tag child.
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    for c in page.dom.children(region) {
+        let keep = match &page.dom[c].kind {
+            NodeKind::Element { .. } => true,
+            NodeKind::Text(t) => !t.trim().is_empty(),
+            _ => false,
+        };
+        if !keep {
+            continue;
+        }
+        if page.dom[c].tag() == Some(sep.as_str()) || groups.is_empty() {
+            groups.push(vec![c]);
+        } else {
+            groups.last_mut().unwrap().push(c);
+        }
+    }
+
+    let mut records = Vec::new();
+    for g in groups {
+        if let Some((lo, hi)) = lines_of(&page, &g) {
+            let lines = page.lines[lo..hi]
+                .iter()
+                .map(|l| match l.ltype {
+                    mse_render::LineType::Hr => "[HR]".to_string(),
+                    mse_render::LineType::Image if l.text.is_empty() => "[IMG]".to_string(),
+                    _ => l.text.clone(),
+                })
+                .collect();
+            records.push(ExtractedRecord {
+                start: lo,
+                end: hi,
+                lines,
+            });
+        }
+    }
+    if records.len() < 2 {
+        return Extraction::default();
+    }
+    let start = records.first().unwrap().start;
+    let end = records.last().unwrap().end;
+    Extraction {
+        sections: vec![ExtractedSection {
+            schema: SchemaId::Wrapper(0),
+            start,
+            end,
+            records,
+        }],
+    }
+}
+
+fn lines_of(page: &RenderedPage, nodes: &[NodeId]) -> Option<(usize, usize)> {
+    let mut lo = None;
+    let mut hi = None;
+    for (idx, line) in page.lines.iter().enumerate() {
+        let covered = line.leaves.iter().any(|&leaf| {
+            nodes
+                .iter()
+                .any(|&n| n == leaf || page.dom.is_ancestor(n, leaf))
+        });
+        if covered {
+            if lo.is_none() {
+                lo = Some(idx);
+            }
+            hi = Some(idx + 1);
+        }
+    }
+    Some((lo?, hi?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mse_dom::parse;
+
+    #[test]
+    fn finds_dominant_table() {
+        let html = "<body><h1>Seek</h1><table>\
+            <tr><td><a href=1>alpha result title</a><br>first snippet body</td></tr>\
+            <tr><td><a href=2>beta result title</a><br>second snippet body</td></tr>\
+            <tr><td><a href=3>gamma result title</a><br>third snippet body</td></tr>\
+            </table></body>";
+        let ex = omini_extract(html);
+        assert_eq!(ex.sections.len(), 1);
+        assert_eq!(ex.sections[0].records.len(), 3);
+    }
+
+    #[test]
+    fn single_section_assumption_misses_others() {
+        // Two sections; Omini reports at most one.
+        let mut html = String::from("<body>");
+        for sec in 0..2 {
+            html.push_str("<div class=results>");
+            for i in 0..4 {
+                html.push_str(&format!(
+                    "<div class=r><a href=/s{sec}i{i}>title {sec} {i} words</a><br>some snippet text</div>"
+                ));
+            }
+            html.push_str("</div>");
+        }
+        html.push_str("</body>");
+        let ex = omini_extract(&html);
+        assert_eq!(ex.sections.len(), 1);
+    }
+
+    #[test]
+    fn too_small_regions_rejected() {
+        let ex = omini_extract("<body><div><a href=1>only one</a></div></body>");
+        assert!(ex.sections.is_empty());
+        assert!(omini_extract("<body></body>").sections.is_empty());
+    }
+
+    #[test]
+    fn data_rich_heuristic_prefers_content_fanout() {
+        let html = "<body><div class=nav><a href=/a>A</a><a href=/b>B</a></div>\
+            <ul><li>a long item with plenty of text content here</li>\
+            <li>another long item with plenty of text content</li>\
+            <li>third long item with plenty of words inside it</li>\
+            <li>fourth item that is also quite long and wordy</li></ul></body>";
+        let dom = parse(html);
+        let n = data_rich_subtree(&dom).unwrap();
+        assert_eq!(dom[n].tag(), Some("ul"));
+    }
+}

@@ -1,0 +1,61 @@
+//! B2: the single-section ("ViNTs-mode") baseline — MSE's own extraction
+//! truncated to the dominant section, modelling prior systems that assume
+//! one result list per page (§7: "IEPAD, Omini, and ViNTs simply assume
+//! that there exists only one section to be extracted").
+
+use mse_core::{Extraction, SectionWrapperSet};
+
+/// Extract with a full wrapper set but keep only the section with the most
+/// records (ties → the earliest).
+pub fn single_section_extract(
+    ws: &SectionWrapperSet,
+    html: &str,
+    query: Option<&str>,
+) -> Extraction {
+    let full = ws.extract_with_query(html, query);
+    let best = full
+        .sections
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.records.len().cmp(&b.records.len()).then(ib.cmp(ia)))
+        .map(|(i, _)| i);
+    Extraction {
+        sections: best
+            .map(|i| vec![full.sections[i].clone()])
+            .unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mse_core::{Mse, MseConfig};
+    use mse_testbed::{Corpus, CorpusConfig};
+
+    #[test]
+    fn keeps_only_dominant_section() {
+        let corpus = Corpus::generate(CorpusConfig::small(31));
+        let engine = corpus.engines.iter().find(|e| e.multi).unwrap();
+        let samples: Vec<(String, String)> = corpus
+            .sample_pages(engine)
+            .into_iter()
+            .map(|p| (p.html, p.query))
+            .collect();
+        let refs: Vec<(&str, Option<&str>)> = samples
+            .iter()
+            .map(|(h, q)| (h.as_str(), Some(q.as_str())))
+            .collect();
+        let ws = Mse::new(MseConfig::default())
+            .build_with_queries(&refs)
+            .expect("build");
+        let page = engine.page(8);
+        let full = ws.extract_with_query(&page.html, Some(&page.query));
+        let single = single_section_extract(&ws, &page.html, Some(&page.query));
+        assert!(single.sections.len() <= 1);
+        if !full.sections.is_empty() {
+            assert_eq!(single.sections.len(), 1);
+            let max_records = full.sections.iter().map(|s| s.records.len()).max().unwrap();
+            assert_eq!(single.sections[0].records.len(), max_records);
+        }
+    }
+}

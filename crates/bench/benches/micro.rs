@@ -1,0 +1,63 @@
+//! Substrate micro-benchmarks: tokenizer/parser throughput, rendering,
+//! tree edit distance, and the pipeline's per-step costs on one page.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mse_core::{MseConfig, Page};
+use mse_dom::parse;
+use mse_render::RenderedPage;
+use mse_testbed::{Corpus, CorpusConfig};
+use mse_treedit::{tree_edit_distance, TagTree};
+use std::hint::black_box;
+
+fn page_html() -> String {
+    let corpus = Corpus::generate(CorpusConfig::default());
+    corpus.engines[1].page(0).html
+}
+
+fn dom_benches(c: &mut Criterion) {
+    let html = page_html();
+    c.bench_function("parse_result_page", |b| b.iter(|| black_box(parse(&html))));
+    c.bench_function("render_result_page", |b| {
+        b.iter(|| black_box(RenderedPage::from_html(&html)))
+    });
+}
+
+fn treedit_benches(c: &mut Criterion) {
+    let html = page_html();
+    let dom = parse(&html);
+    let tables: Vec<TagTree> = dom
+        .preorder(dom.root())
+        .filter(|&n| matches!(dom[n].tag(), Some("table") | Some("div")))
+        .take(2)
+        .map(|n| TagTree::from_dom(&dom, n))
+        .collect();
+    if tables.len() == 2 {
+        c.bench_function("tree_edit_distance_containers", |b| {
+            b.iter(|| black_box(tree_edit_distance(&tables[0], &tables[1])))
+        });
+    }
+}
+
+fn pipeline_step_benches(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::default());
+    let engine = &corpus.engines[1];
+    let cfg = MseConfig::default();
+    let pages: Vec<Page> = corpus
+        .sample_pages(engine)
+        .into_iter()
+        .map(|p| Page::from_html(&p.html, Some(&p.query)))
+        .collect();
+    c.bench_function("mre_one_page", |b| {
+        b.iter(|| black_box(mse_core::mre::mre(&pages[0], &cfg)))
+    });
+    let mrs: Vec<_> = pages.iter().map(|p| mse_core::mre::mre(p, &cfg)).collect();
+    c.bench_function("dse_csbms_five_pages", |b| {
+        b.iter(|| black_box(mse_core::dse::csbm_flags(&pages, &mrs, &cfg)))
+    });
+    c.bench_function("analyze_five_pages", |b| {
+        b.iter(|| black_box(mse_core::analyze_pages(&pages, &cfg)))
+    });
+}
+
+criterion_group!(benches, dom_benches, treedit_benches, pipeline_step_benches);
+criterion_main!(benches);

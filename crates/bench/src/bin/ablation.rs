@@ -1,0 +1,63 @@
+//! Ablations A1–A4 (DESIGN.md): re-run Table 1 with one pipeline component
+//! disabled at a time.
+
+use mse_core::{MiningMode, MseConfig};
+use mse_eval::{run_corpus, section_table};
+use mse_testbed::{Corpus, CorpusConfig};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let config = if small {
+        CorpusConfig::small(2006)
+    } else {
+        CorpusConfig::default()
+    };
+    let corpus = Corpus::generate(config);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let variants: Vec<(&str, MseConfig)> = vec![
+        ("baseline (full MSE)", MseConfig::default()),
+        (
+            "A1: refinement off (§5.3)",
+            MseConfig {
+                enable_refine: false,
+                ..MseConfig::default()
+            },
+        ),
+        (
+            "A2: granularity repair off (§5.5)",
+            MseConfig {
+                enable_granularity: false,
+                ..MseConfig::default()
+            },
+        ),
+        (
+            "A3: section families off (§5.8)",
+            MseConfig {
+                enable_families: false,
+                ..MseConfig::default()
+            },
+        ),
+        (
+            "A4: naive first-separator mining (§5.4)",
+            MseConfig {
+                mining: MiningMode::NaiveFirstSeparator,
+                ..MseConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        let score = run_corpus(&corpus, &cfg, threads);
+        let (_, _, total) = score.all();
+        let (_, _, multi) = score.multi_only();
+        println!(
+            "{}",
+            section_table(
+                &format!("Ablation — {name}"),
+                &[("Total", total), ("multi", multi),]
+            )
+        );
+    }
+}

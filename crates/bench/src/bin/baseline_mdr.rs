@@ -1,0 +1,99 @@
+//! B1/B2: baseline comparison against MDR (Liu et al., KDD'03) and the
+//! single-section ("ViNTs-mode") restriction of MSE, on the same corpus
+//! and with the same scoring as Tables 1/2. The expected shape (paper §7):
+//! MDR emits static repeating regions (low section precision), cannot see
+//! single-record sections (recall loss), and mis-segments non-table
+//! records; single-section mode caps recall near the fraction of sections
+//! that are dominant.
+
+use mse_baselines::{mdr_extract, omini_extract, single_section_extract, MdrConfig};
+use mse_core::MseConfig;
+use mse_eval::metrics::{score_page, PageScore};
+use mse_eval::runner::build_engine_wrappers;
+use mse_eval::section_table;
+use mse_testbed::{Corpus, CorpusConfig};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let config = if small {
+        CorpusConfig::small(2006)
+    } else {
+        CorpusConfig::default()
+    };
+    let corpus = Corpus::generate(config);
+    let cfg = MseConfig::default();
+    let mdr_cfg = MdrConfig::default();
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let n = corpus.engines.len();
+    let mut rows: Vec<Option<(bool, PageScore, PageScore, PageScore)>> = vec![None; n];
+    std::thread::scope(|scope| {
+        for (c, chunk) in rows.chunks_mut(n.div_ceil(threads)).enumerate() {
+            let base = c * n.div_ceil(threads);
+            let corpus = &corpus;
+            let cfg = &cfg;
+            let mdr_cfg = &mdr_cfg;
+            scope.spawn(move || {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    let engine = &corpus.engines[base + k];
+                    let ws = build_engine_wrappers(corpus, engine, cfg).ok();
+                    let mut mdr_score = PageScore::default();
+                    let mut omini_score = PageScore::default();
+                    let mut single_score = PageScore::default();
+                    for q in 0..corpus.config.pages_per_engine {
+                        let page = engine.page(q);
+                        mdr_score.add(&score_page(&page.truth, &mdr_extract(&page.html, mdr_cfg)));
+                        omini_score.add(&score_page(&page.truth, &omini_extract(&page.html)));
+                        let single = match &ws {
+                            Some(ws) => single_section_extract(ws, &page.html, Some(&page.query)),
+                            None => Default::default(),
+                        };
+                        single_score.add(&score_page(&page.truth, &single));
+                    }
+                    *slot = Some((engine.multi, mdr_score, omini_score, single_score));
+                }
+            });
+        }
+    });
+
+    let mut mdr_all = PageScore::default();
+    let mut mdr_multi = PageScore::default();
+    let mut omini_all = PageScore::default();
+    let mut omini_multi = PageScore::default();
+    let mut single_all = PageScore::default();
+    let mut single_multi = PageScore::default();
+    for row in rows.into_iter().flatten() {
+        let (multi, m, o, s) = row;
+        mdr_all.add(&m);
+        omini_all.add(&o);
+        single_all.add(&s);
+        if multi {
+            mdr_multi.add(&m);
+            omini_multi.add(&o);
+            single_multi.add(&s);
+        }
+    }
+    println!(
+        "{}",
+        section_table(
+            "B1. MDR baseline (unsupervised, per page) — section extraction",
+            &[("all", mdr_all), ("multi", mdr_multi)],
+        )
+    );
+    println!(
+        "{}",
+        section_table(
+            "B2. Single-section (ViNTs-mode) baseline — section extraction",
+            &[("all", single_all), ("multi", single_multi)],
+        )
+    );
+    println!(
+        "{}",
+        section_table(
+            "B3. Omini-style baseline (single data-rich subtree) — section extraction",
+            &[("all", omini_all), ("multi", omini_multi)],
+        )
+    );
+}

@@ -1,0 +1,93 @@
+//! Inspect one corpus engine end-to-end: its schema spec, the learned
+//! wrapper set, per-page extraction vs ground truth, and the analyzed
+//! section instances on the sample pages.
+//!
+//! ```sh
+//! cargo run --release -p mse-bench --bin inspect -- <engine_id>
+//! ```
+use mse_eval::runner::build_engine_wrappers;
+use mse_testbed::{Corpus, CorpusConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let engine_id: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(41);
+    let corpus = Corpus::generate(CorpusConfig::default());
+    let engine = &corpus.engines[engine_id];
+    println!(
+        "engine {}: multi={} two_col={} nav={} sections:",
+        engine.id, engine.multi, engine.two_column, engine.nav_trap
+    );
+    for s in &engine.sections {
+        println!(
+            "  {:?} {:?} more={}/{} appear={:.2} recs {}..{}",
+            s.style,
+            s.header,
+            s.more_rbm,
+            s.more_inside,
+            s.appearance_prob,
+            s.min_records,
+            s.max_records
+        );
+    }
+    let cfg = mse_core::MseConfig::default();
+    match build_engine_wrappers(&corpus, engine, &cfg) {
+        Ok(ws) => {
+            println!(
+                "built: {} wrappers {} families",
+                ws.wrappers.len(),
+                ws.families.len()
+            );
+            for (i, w) in ws.wrappers.iter().enumerate() {
+                println!(
+                    "  w{i}: pref={} seps={:?} lbms={:?}",
+                    w.pref, w.seps, w.lbms
+                );
+            }
+            for q in 0..10 {
+                let page = engine.page(q);
+                let ex = ws.extract_with_query(&page.html, Some(&page.query));
+                let sc = mse_eval::score_page(&page.truth, &ex);
+                println!(
+                    "page {q}: gt={:?} ext={:?} perfect={} partial={}",
+                    page.truth
+                        .sections
+                        .iter()
+                        .map(|s| (s.schema.as_str(), s.records.len()))
+                        .collect::<Vec<_>>(),
+                    ex.sections
+                        .iter()
+                        .map(|s| (s.schema, s.records.len()))
+                        .collect::<Vec<_>>(),
+                    sc.sections.perfect,
+                    sc.sections.partial
+                );
+            }
+        }
+        Err(e) => {
+            println!("build failed: {e}");
+        }
+    }
+    let pages: Vec<mse_core::Page> = (0..5)
+        .map(|q| {
+            let p = engine.page(q);
+            mse_core::Page::from_html(&p.html, Some(&p.query))
+        })
+        .collect();
+    let secs = mse_core::analyze_pages(&pages, &cfg);
+    for (i, s) in secs.iter().enumerate() {
+        println!("analyze page {i}:");
+        for x in s {
+            let first = pages[i]
+                .line_texts(x.start, (x.start + 1).min(x.end))
+                .join("");
+            println!(
+                "   ({}, {}, recs={}) lbm={:?} first_line={:?}",
+                x.start,
+                x.end,
+                x.records.len(),
+                x.lbm.map(|l| pages[i].rp.lines[l].text.clone()),
+                first
+            );
+        }
+    }
+}

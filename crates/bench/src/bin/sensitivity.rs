@@ -1,0 +1,66 @@
+//! Parameter-sensitivity sweeps (figure-like series; the paper has no data
+//! figures, so these probe the two knobs its method leans on hardest):
+//!
+//! * number of sample pages (the paper fixes 5; how fast does wrapper
+//!   quality saturate?),
+//! * the W threshold of the `Davgrs ≤ W·Dinr` tests (the paper uses 1.8).
+
+use mse_core::MseConfig;
+use mse_eval::run_corpus;
+use mse_testbed::{Corpus, CorpusConfig};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let base = if small {
+        CorpusConfig::small(2006)
+    } else {
+        CorpusConfig::default()
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    println!("Sweep 1 — sample pages used for wrapper construction (test-page scores)");
+    println!(
+        "{:>8}  {:>8}  {:>8}  {:>8}  {:>8}",
+        "samples", "R-perf", "R-total", "P-perf", "P-total"
+    );
+    for n_samples in [2usize, 3, 4, 5] {
+        let mut cc = base.clone();
+        cc.n_sample_pages = n_samples;
+        let corpus = Corpus::generate(cc);
+        let score = run_corpus(&corpus, &MseConfig::default(), threads);
+        let (_, t, _) = score.all();
+        println!(
+            "{:>8}  {:>8.1}  {:>8.1}  {:>8.1}  {:>8.1}",
+            n_samples,
+            100.0 * t.sections.recall_perfect(),
+            100.0 * t.sections.recall_total(),
+            100.0 * t.sections.precision_perfect(),
+            100.0 * t.sections.precision_total(),
+        );
+    }
+
+    println!("\nSweep 2 — the W threshold (paper: 1.8), total scores");
+    println!(
+        "{:>8}  {:>8}  {:>8}  {:>8}  {:>8}",
+        "W", "R-perf", "R-total", "P-perf", "P-total"
+    );
+    let corpus = Corpus::generate(base);
+    for w in [1.0f64, 1.4, 1.8, 2.2, 2.6, 3.0] {
+        let cfg = MseConfig {
+            w_threshold: w,
+            ..MseConfig::default()
+        };
+        let score = run_corpus(&corpus, &cfg, threads);
+        let (_, _, total) = score.all();
+        println!(
+            "{:>8.1}  {:>8.1}  {:>8.1}  {:>8.1}  {:>8.1}",
+            w,
+            100.0 * total.sections.recall_perfect(),
+            100.0 * total.sections.recall_total(),
+            100.0 * total.sections.precision_perfect(),
+            100.0 * total.sections.precision_total(),
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates the paper's Table 1: section extraction results on all 119
+//! search engines (1190 pages). Usage: `table1 [--small] [--threads N]`.
+
+use mse_eval::{run_corpus, section_table};
+use mse_testbed::{Corpus, CorpusConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    let config = if small {
+        CorpusConfig::small(2006)
+    } else {
+        CorpusConfig::default()
+    };
+    let corpus = Corpus::generate(config);
+    let cfg = mse_core::MseConfig::default();
+    let t0 = std::time::Instant::now();
+    let score = run_corpus(&corpus, &cfg, threads);
+    let (s, t, total) = score.all();
+    println!(
+        "{}",
+        section_table(
+            &format!(
+                "Table 1. Section extraction results on all {} search engines ({} pages, {:.1}s)",
+                corpus.engines.len(),
+                corpus.engines.len() * corpus.config.pages_per_engine,
+                t0.elapsed().as_secs_f64()
+            ),
+            &[("S pgs", s), ("T pgs", t), ("Total", total)],
+        )
+    );
+    let failed: Vec<usize> = score
+        .outcomes
+        .iter()
+        .filter(|o| !o.built)
+        .map(|o| o.engine_id)
+        .collect();
+    if !failed.is_empty() {
+        println!("wrapper construction failed for engines: {failed:?}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates the paper's Table 3: record extraction results on all
+//! perfectly and partially correctly extracted sections.
+
+use mse_eval::{record_table, run_corpus};
+use mse_testbed::{Corpus, CorpusConfig};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let config = if small {
+        CorpusConfig::small(2006)
+    } else {
+        CorpusConfig::default()
+    };
+    let corpus = Corpus::generate(config);
+    let cfg = mse_core::MseConfig::default();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let score = run_corpus(&corpus, &cfg, threads);
+    let (s, t, total) = score.all();
+    println!(
+        "{}",
+        record_table(
+            "Table 3. Record extraction results on all perfectly and partially correctly extracted sections",
+            &[("S pgs", s), ("T pgs", t), ("Total", total)],
+        )
+    );
+}

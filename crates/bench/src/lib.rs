@@ -1,0 +1,15 @@
+//! # mse-bench
+//!
+//! Table regenerators (binaries) and Criterion benches for the MSE
+//! reproduction. See DESIGN.md §4 for the experiment index:
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `--bin table1` | paper Table 1 (all 119 engines) |
+//! | `--bin table2` | paper Table 2 (38 multi-section engines) |
+//! | `--bin table3` | paper Table 3 (record extraction) |
+//! | `--bin sbm_stats` | §2's 96.9%-SBM survey statistic |
+//! | `--bin ablation` | A1–A4 component ablations |
+//! | `--bin baseline_mdr` | B1/B2 baseline comparison |
+//! | `bench timing` | §6's construction/extraction timing claim |
+//! | `bench micro` | substrate micro-benchmarks |

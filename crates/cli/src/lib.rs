@@ -1,0 +1,365 @@
+//! # mse-cli
+//!
+//! The `mse` command-line tool:
+//!
+//! ```text
+//! mse gen     --seed 2006 --engine 3 --pages 10 --out dir/   generate synthetic result pages
+//! mse build   --out wrapper.json page0.html:query0 page1.html:query1 ...
+//! mse extract --wrapper wrapper.json [--query q] [--annotate] page.html
+//! mse eval    [--small] [--seed 2006] [--threads N]          run the Table-1 evaluation
+//! ```
+//!
+//! Sample-page arguments take the form `path[:query]`; passing the query
+//! lets the builder strip its terms as dynamic components (paper §5.2).
+
+use mse_annotate::annotate_extraction;
+use mse_core::{Mse, MseConfig, SectionWrapperSet};
+use mse_eval::{run_corpus, section_table};
+use mse_testbed::{Corpus, CorpusConfig, EngineSpec};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// CLI error: message for the user, non-zero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Entry point; returns the text to print.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("extract") => cmd_extract(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => Ok(usage()),
+        Some(other) => err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+pub fn usage() -> String {
+    "mse — multiple section extraction from search engine result pages\n\
+     \n\
+     USAGE:\n\
+     \x20 mse gen     --seed N --engine ID [--pages N] --out DIR\n\
+     \x20 mse build   --out WRAPPER.json PAGE[:QUERY]...\n\
+     \x20 mse extract --wrapper WRAPPER.json [--query Q] [--annotate] PAGE\n\
+     \x20 mse eval    [--small] [--seed N] [--threads N]\n"
+        .to_string()
+}
+
+/// Parsed options (`--flag value` pairs) and positional arguments.
+type ParsedArgs = (Vec<(String, String)>, Vec<String>);
+
+/// Parse `--flag value` style options; returns (options, positional).
+fn parse_opts(args: &[String]) -> Result<ParsedArgs, CliError> {
+    let mut opts = Vec::new();
+    let mut pos = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // boolean flags
+            if matches!(name, "small" | "annotate" | "json") {
+                opts.push((name.to_string(), "true".to_string()));
+                i += 1;
+                continue;
+            }
+            let Some(value) = args.get(i + 1) else {
+                return err(format!("--{name} needs a value"));
+            };
+            opts.push((name.to_string(), value.clone()));
+            i += 2;
+        } else {
+            pos.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((opts, pos))
+}
+
+fn opt<'a>(opts: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    opts.iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn cmd_gen(args: &[String]) -> Result<String, CliError> {
+    let (opts, _) = parse_opts(args)?;
+    let seed: u64 = opt(&opts, "seed")
+        .unwrap_or("2006")
+        .parse()
+        .map_err(|_| CliError("bad --seed".into()))?;
+    let engine_id: usize = opt(&opts, "engine")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| CliError("bad --engine".into()))?;
+    let pages: usize = opt(&opts, "pages")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|_| CliError("bad --pages".into()))?;
+    let Some(out) = opt(&opts, "out") else {
+        return err("gen requires --out DIR");
+    };
+    fs::create_dir_all(out).map_err(|e| CliError(format!("cannot create {out}: {e}")))?;
+    let engine = EngineSpec::generate(seed, engine_id);
+    let mut report = format!(
+        "engine {} ({}, {} schema(s))\n",
+        engine.id,
+        engine.name,
+        engine.sections.len()
+    );
+    for q in 0..pages {
+        let page = engine.page(q);
+        let html_path = Path::new(out).join(format!("page{q}.html"));
+        let truth_path = Path::new(out).join(format!("page{q}.truth.json"));
+        fs::write(&html_path, &page.html).map_err(|e| CliError(e.to_string()))?;
+        let truth =
+            serde_json::to_string_pretty(&page.truth).map_err(|e| CliError(e.to_string()))?;
+        fs::write(&truth_path, truth).map_err(|e| CliError(e.to_string()))?;
+        writeln!(
+            report,
+            "  wrote {} (query {:?}, {} sections, {} records)",
+            html_path.display(),
+            page.query,
+            page.truth.sections.len(),
+            page.truth.total_records()
+        )
+        .unwrap();
+    }
+    Ok(report)
+}
+
+fn cmd_build(args: &[String]) -> Result<String, CliError> {
+    let (opts, pos) = parse_opts(args)?;
+    let Some(out) = opt(&opts, "out") else {
+        return err("build requires --out WRAPPER.json");
+    };
+    if pos.len() < 2 {
+        return err("build needs at least 2 sample pages (PAGE[:QUERY]...)");
+    }
+    let mut samples: Vec<(String, Option<String>)> = Vec::new();
+    for spec in &pos {
+        let (path, query) = match spec.rsplit_once(':') {
+            // Windows-style "C:\..." false positives are not a concern here;
+            // a query never contains a path separator.
+            Some((p, q)) if !q.contains('/') && !q.contains('\\') && !p.is_empty() => {
+                (p, Some(q.to_string()))
+            }
+            _ => (spec.as_str(), None),
+        };
+        let html =
+            fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+        samples.push((html, query));
+    }
+    let refs: Vec<(&str, Option<&str>)> = samples
+        .iter()
+        .map(|(h, q)| (h.as_str(), q.as_deref()))
+        .collect();
+    let ws = Mse::new(MseConfig::default())
+        .build_with_queries(&refs)
+        .map_err(|e| CliError(format!("wrapper construction failed: {e}")))?;
+    let json = serde_json::to_string_pretty(&ws).map_err(|e| CliError(e.to_string()))?;
+    fs::write(out, json).map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+    Ok(format!(
+        "wrote {out}: {} wrapper(s), {} family(ies), built from {} sample pages\n",
+        ws.wrappers.len(),
+        ws.families.len(),
+        samples.len()
+    ))
+}
+
+fn cmd_extract(args: &[String]) -> Result<String, CliError> {
+    let (opts, pos) = parse_opts(args)?;
+    let Some(wrapper_path) = opt(&opts, "wrapper") else {
+        return err("extract requires --wrapper WRAPPER.json");
+    };
+    let [page_path] = pos.as_slice() else {
+        return err("extract takes exactly one PAGE argument");
+    };
+    let ws: SectionWrapperSet = serde_json::from_str(
+        &fs::read_to_string(wrapper_path)
+            .map_err(|e| CliError(format!("cannot read {wrapper_path}: {e}")))?,
+    )
+    .map_err(|e| CliError(format!("bad wrapper file: {e}")))?;
+    let html = fs::read_to_string(page_path)
+        .map_err(|e| CliError(format!("cannot read {page_path}: {e}")))?;
+    let ex = ws.extract_with_query(&html, opt(&opts, "query"));
+
+    if opt(&opts, "json").is_some() {
+        return serde_json::to_string_pretty(&ex).map_err(|e| CliError(e.to_string()));
+    }
+    let mut out = String::new();
+    let annotated = opt(&opts, "annotate").map(|_| annotate_extraction(&ex).1);
+    for (i, sec) in ex.sections.iter().enumerate() {
+        writeln!(
+            out,
+            "section {} ({:?}) — {} record(s)",
+            i + 1,
+            sec.schema,
+            sec.records.len()
+        )
+        .unwrap();
+        for (j, rec) in sec.records.iter().enumerate() {
+            match &annotated {
+                Some(ann) => {
+                    for (text, role) in &ann[i][j].lines {
+                        writeln!(out, "  [{role:?}] {text}").unwrap();
+                    }
+                }
+                None => writeln!(out, "  • {}", rec.lines.join(" ⏎ ")).unwrap(),
+            }
+            if annotated.is_some() {
+                writeln!(out).unwrap();
+            }
+        }
+    }
+    writeln!(
+        out,
+        "{} section(s), {} record(s)",
+        ex.sections.len(),
+        ex.total_records()
+    )
+    .unwrap();
+    Ok(out)
+}
+
+fn cmd_eval(args: &[String]) -> Result<String, CliError> {
+    let (opts, _) = parse_opts(args)?;
+    let seed: u64 = opt(&opts, "seed")
+        .unwrap_or("2006")
+        .parse()
+        .map_err(|_| CliError("bad --seed".into()))?;
+    let threads: usize = opt(&opts, "threads")
+        .map(|t| t.parse().map_err(|_| CliError("bad --threads".into())))
+        .transpose()?
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    let config = if opt(&opts, "small").is_some() {
+        CorpusConfig::small(seed)
+    } else {
+        CorpusConfig {
+            seed,
+            ..CorpusConfig::default()
+        }
+    };
+    let corpus = Corpus::generate(config);
+    let score = run_corpus(&corpus, &MseConfig::default(), threads);
+    let (s, t, total) = score.all();
+    Ok(section_table(
+        &format!("Section extraction on {} engines", corpus.engines.len()),
+        &[("S pgs", s), ("T pgs", t), ("Total", total)],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn usage_on_no_args_and_help() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&s(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&s(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_opts_mix() {
+        let (opts, pos) = parse_opts(&s(&["--seed", "7", "a.html", "--small", "b.html"])).unwrap();
+        assert_eq!(opt(&opts, "seed"), Some("7"));
+        assert_eq!(opt(&opts, "small"), Some("true"));
+        assert_eq!(pos, vec!["a.html", "b.html"]);
+        assert!(parse_opts(&s(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn gen_build_extract_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mse-cli-test-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_string();
+        // gen
+        let report = run(&s(&[
+            "gen", "--seed", "2006", "--engine", "4", "--pages", "6", "--out", &dir_s,
+        ]))
+        .expect("gen");
+        assert!(report.contains("wrote"));
+        // build from the first 5 pages (queries come from the test bed's
+        // fixed pool, matching EngineSpec::page()).
+        let queries = mse_testbed::words::QUERIES;
+        let mut args = s(&["build", "--out"]);
+        args.push(format!("{dir_s}/wrapper.json"));
+        for (q, query) in queries.iter().enumerate().take(5) {
+            args.push(format!("{dir_s}/page{q}.html:{query}"));
+        }
+        let report = run(&args).expect("build");
+        assert!(report.contains("wrapper(s)"), "{report}");
+        // extract from the held-out page
+        let out = run(&s(&[
+            "extract",
+            "--wrapper",
+            &format!("{dir_s}/wrapper.json"),
+            "--query",
+            queries[5],
+            &format!("{dir_s}/page5.html"),
+        ]))
+        .expect("extract");
+        assert!(out.contains("section 1"), "{out}");
+        // annotated form
+        let out = run(&s(&[
+            "extract",
+            "--wrapper",
+            &format!("{dir_s}/wrapper.json"),
+            "--annotate",
+            &format!("{dir_s}/page5.html"),
+        ]))
+        .expect("extract --annotate");
+        assert!(out.contains("[Title]"), "{out}");
+        // json form parses back
+        let out = run(&s(&[
+            "extract",
+            "--wrapper",
+            &format!("{dir_s}/wrapper.json"),
+            "--json",
+            &format!("{dir_s}/page5.html"),
+        ]))
+        .expect("extract --json");
+        let _: mse_core::Extraction = serde_json::from_str(&out).expect("json output parses");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eval_small_runs() {
+        let out = run(&s(&["eval", "--small", "--seed", "3", "--threads", "4"])).expect("eval");
+        assert!(out.contains("Total"));
+    }
+
+    #[test]
+    fn missing_files_reported() {
+        assert!(run(&s(&[
+            "build",
+            "--out",
+            "/tmp/x.json",
+            "nope.html",
+            "nope2.html"
+        ]))
+        .is_err());
+        assert!(run(&s(&["extract", "--wrapper", "nope.json", "p.html"])).is_err());
+    }
+}

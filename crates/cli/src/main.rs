@@ -1,0 +1,12 @@
+//! The `mse` binary — see [`mse_cli::usage`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mse_cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! All tunable constants of the MSE pipeline in one place.
+//!
+//! The paper names three constants explicitly: the position-distance
+//! constant K = 0.127 (§4.3, lives in `mse-render`), the refinement /
+//! granularity threshold W = 1.8 (§5.3, §5.5), and the ≥3-repetition
+//! requirement of MRE (§5.1). The remaining weights and thresholds are
+//! acknowledged by the paper only as "non-negative real numbers summing to
+//! 1" or deferred to ViNTs \[29\]; their defaults here were tuned on *sample*
+//! pages of the synthetic corpus only, mirroring the paper's §6 protocol
+//! ("only the sample pages are used for wrapper construction and
+//! parameter/threshold tuning").
+
+use serde::{Deserialize, Serialize};
+
+/// Record-mining strategy (§5.4). `Cohesion` is the paper's method;
+/// `NaiveFirstSeparator` is the ablation baseline (A4 in DESIGN.md).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MiningMode {
+    /// Enumerate candidate tag-forest separators, keep the partition with
+    /// the highest section cohesion (Formula 7).
+    Cohesion,
+    /// Take the first structural separator found, no cohesion scoring.
+    NaiveFirstSeparator,
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MseConfig {
+    /// Line-distance weights (u₁, u₂, u₃) for type / position / text-attr
+    /// components (Formula 3). Must sum to 1.
+    pub u: (f64, f64, f64),
+    /// Record-distance weights (v₁..v₅) for tag-forest / block-type /
+    /// block-shape / block-position / block-text-attr (Formula 4).
+    /// Must sum to 1.
+    pub v: (f64, f64, f64, f64, f64),
+    /// The paper's W = 1.8: a record is foreign to a section when its
+    /// average distance to the section's records exceeds `W × Dinr`.
+    pub w_threshold: f64,
+    /// Floor for the inter-record distance in `W × Dinr` tests — a section
+    /// of identical records would otherwise have a zero threshold and
+    /// reject everything.
+    pub min_dinr: f64,
+    /// MRE: minimum occurrences of a line pattern to seed a section (§5.1:
+    /// "patterns that occur more than two times").
+    pub min_pattern_repeat: usize,
+    /// MRE: maximum content lines a single record may span.
+    pub max_record_lines: usize,
+    /// MRE: maximum average consecutive-record distance for a candidate MR
+    /// to pass visual-similarity verification.
+    pub mre_sim_threshold: f64,
+    /// MRE: overlap fraction (of the smaller span) above which two
+    /// tentative MRs are merged into one group.
+    pub mr_overlap_merge: f64,
+    /// DSE: fraction of page pairs that must agree for a line to be a CSBM
+    /// (the paper runs DSE pairwise and leaves aggregation open).
+    pub csbm_vote_frac: f64,
+    /// Mining: partitions within this cohesion margin of the best are tied;
+    /// ties break toward MORE records (separator evidence). Sized so that
+    /// benign record-length variance (optional snippet lines inflate Dinr
+    /// and favor the merged partition by a few hundredths) cannot beat the
+    /// separator-indicated partition.
+    pub cohesion_tie_eps: f64,
+    /// Granularity (§5.5): a coarser re-merged partition is adopted only
+    /// if its cohesion beats the current one by MORE than this margin —
+    /// the mirror image of the mining tie-break, biasing toward finer
+    /// records as the paper's similarity assumptions do.
+    pub granularity_merge_margin: f64,
+    /// Grouping: stable-marriage score threshold below which two section
+    /// instances never match (§5.6 "below a threshold").
+    pub section_match_threshold: f64,
+    /// Grouping: weights for tag-path / SBM / format similarity in the
+    /// section matching score.
+    pub match_weights: (f64, f64, f64),
+    /// Extraction: sibling-count slack when resolving a wrapper's merged
+    /// tag path on a new page.
+    pub pref_slack: usize,
+    /// Extraction: slack for section-family paths (families generalize
+    /// over sibling positions, §5.8).
+    pub family_slack: usize,
+    /// Ablation switches (DESIGN.md A1–A3).
+    pub enable_refine: bool,
+    pub enable_granularity: bool,
+    pub enable_families: bool,
+    pub mining: MiningMode,
+}
+
+impl Default for MseConfig {
+    fn default() -> Self {
+        MseConfig {
+            u: (0.40, 0.30, 0.30),
+            v: (0.35, 0.25, 0.10, 0.05, 0.25),
+            w_threshold: 1.8,
+            min_dinr: 0.05,
+            min_pattern_repeat: 3,
+            max_record_lines: 10,
+            mre_sim_threshold: 0.35,
+            mr_overlap_merge: 0.5,
+            csbm_vote_frac: 0.5,
+            cohesion_tie_eps: 0.06,
+            granularity_merge_margin: 0.10,
+            section_match_threshold: 0.55,
+            match_weights: (0.40, 0.30, 0.30),
+            pref_slack: 2,
+            family_slack: 6,
+            enable_refine: true,
+            enable_granularity: true,
+            enable_families: true,
+            mining: MiningMode::Cohesion,
+        }
+    }
+}
+
+impl MseConfig {
+    /// Validate weight simplex constraints; returns an error message on the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let su = self.u.0 + self.u.1 + self.u.2;
+        if (su - 1.0).abs() > 1e-9 {
+            return Err(format!("line-distance weights u must sum to 1 (got {su})"));
+        }
+        let sv = self.v.0 + self.v.1 + self.v.2 + self.v.3 + self.v.4;
+        if (sv - 1.0).abs() > 1e-9 {
+            return Err(format!(
+                "record-distance weights v must sum to 1 (got {sv})"
+            ));
+        }
+        for (name, w) in [
+            ("u1", self.u.0),
+            ("u2", self.u.1),
+            ("u3", self.u.2),
+            ("v1", self.v.0),
+            ("v2", self.v.1),
+            ("v3", self.v.2),
+            ("v4", self.v.3),
+            ("v5", self.v.4),
+        ] {
+            if w < 0.0 {
+                return Err(format!("weight {name} must be non-negative"));
+            }
+        }
+        if self.w_threshold <= 0.0 {
+            return Err("W threshold must be positive".into());
+        }
+        if self.min_pattern_repeat < 2 {
+            return Err("min_pattern_repeat must be at least 2".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(MseConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let c = MseConfig {
+            u: (0.5, 0.5, 0.5),
+            ..MseConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = MseConfig {
+            v: (1.0, 0.2, -0.2, 0.0, 0.0),
+            ..MseConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_scalars() {
+        let c = MseConfig {
+            w_threshold: 0.0,
+            ..MseConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = MseConfig {
+            min_pattern_repeat: 1,
+            ..MseConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn paper_constants() {
+        let c = MseConfig::default();
+        assert!((c.w_threshold - 1.8).abs() < 1e-12);
+        assert_eq!(c.min_pattern_repeat, 3);
+    }
+}

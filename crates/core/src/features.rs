@@ -1,0 +1,237 @@
+//! The paper's §4.3/§4.4 measures: record distance (Formula 4),
+//! inter-record distance (5), record diversity (6) and section cohesion
+//! (7), computed over line ranges of a [`Page`].
+
+use crate::config::MseConfig;
+use crate::page::Page;
+use mse_render::block::{dbp, dbs, dbt, dbta};
+use mse_treedit::{forest_distance, TagTree};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A record: a half-open range of content lines on one page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rec {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Rec {
+    pub fn new(start: usize, end: usize) -> Rec {
+        debug_assert!(start < end, "empty record {start}..{end}");
+        Rec { start, end }
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    pub fn contains_line(&self, line: usize) -> bool {
+        (self.start..self.end).contains(&line)
+    }
+}
+
+/// Feature calculator with a per-page tag-forest cache (forest lifting is
+/// the expensive part of `Drec`).
+pub struct Features<'a> {
+    pub page: &'a Page,
+    pub cfg: &'a MseConfig,
+    forests: HashMap<(usize, usize), Vec<TagTree>>,
+}
+
+impl<'a> Features<'a> {
+    pub fn new(page: &'a Page, cfg: &'a MseConfig) -> Features<'a> {
+        Features {
+            page,
+            cfg,
+            forests: HashMap::new(),
+        }
+    }
+
+    fn forest(&mut self, r: Rec) -> &Vec<TagTree> {
+        self.forests
+            .entry((r.start, r.end))
+            .or_insert_with(|| self.page.forest(r.start, r.end))
+    }
+
+    /// Record distance `Drec` (Formula 4):
+    /// `v1·Dtf + v2·Dbt + v3·Dbs + v4·Dbp + v5·Dbta`.
+    pub fn drec(&mut self, a: Rec, b: Rec) -> f64 {
+        let v = self.cfg.v;
+        // Tag forest distance needs both forests; clone the first out of the
+        // cache to satisfy the borrow checker (forests are small).
+        let fa = self.forest(a).clone();
+        let dtf = {
+            let fb = self.forest(b);
+            forest_distance(&fa, fb)
+        };
+        let la = &self.page.rp.lines[a.start..a.end];
+        let lb = &self.page.rp.lines[b.start..b.end];
+        v.0 * dtf + v.1 * dbt(la, lb) + v.2 * dbs(la, lb) + v.3 * dbp(la, lb) + v.4 * dbta(la, lb)
+    }
+
+    /// Inter-record distance `Dinr` (Formula 5): mean pairwise `Drec` over
+    /// the records of a section. Zero for fewer than two records.
+    pub fn dinr(&mut self, records: &[Rec]) -> f64 {
+        let n = records.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n - 1 {
+            for j in i + 1..n {
+                sum += self.drec(records[i], records[j]);
+            }
+        }
+        sum / (n * (n - 1) / 2) as f64
+    }
+
+    /// Record diversity `Div` (Formula 6): mean pairwise line distance
+    /// within one record. Zero for single-line records.
+    pub fn div(&mut self, r: Rec) -> f64 {
+        let lines = &self.page.rp.lines[r.start..r.end];
+        let m = lines.len();
+        if m < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..m - 1 {
+            for j in i + 1..m {
+                sum += lines[i].distance(&lines[j], self.cfg.u);
+            }
+        }
+        sum / (m * (m - 1) / 2) as f64
+    }
+
+    /// Section cohesion `Cohs` (Formula 7):
+    /// `(Σ Div(rᵢ) / n) / (1 + Dinr(S))`.
+    pub fn cohesion(&mut self, records: &[Rec]) -> f64 {
+        let n = records.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let avg_div = records.iter().map(|&r| self.div(r)).sum::<f64>() / n as f64;
+        avg_div / (1.0 + self.dinr(records))
+    }
+
+    /// Average record distance between one record and a set (`Davgrs`,
+    /// §5.3/§5.5).
+    pub fn davgrs(&mut self, r: Rec, set: &[Rec]) -> f64 {
+        if set.is_empty() {
+            return f64::INFINITY;
+        }
+        set.iter().map(|&o| self.drec(r, o)).sum::<f64>() / set.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(html: &str) -> Page {
+        Page::from_html(html, None)
+    }
+
+    fn recs(bounds: &[(usize, usize)]) -> Vec<Rec> {
+        bounds.iter().map(|&(s, e)| Rec::new(s, e)).collect()
+    }
+
+    /// Three same-format records: title link + snippet, in divs.
+    fn uniform_section() -> Page {
+        page(concat!(
+            "<body><div class=r><a href=1>Alpha result one</a><br>first snippet text</div>",
+            "<div class=r><a href=2>Beta result two</a><br>second snippet body</div>",
+            "<div class=r><a href=3>Gamma result three</a><br>third snippet words</div></body>"
+        ))
+    }
+
+    #[test]
+    fn drec_zero_for_identical_format() {
+        let p = uniform_section();
+        let cfg = MseConfig::default();
+        let mut f = Features::new(&p, &cfg);
+        let d = f.drec(Rec::new(0, 2), Rec::new(2, 4));
+        assert!(d < 0.05, "d = {d}");
+    }
+
+    #[test]
+    fn drec_large_for_different_format() {
+        let p = page(concat!(
+            "<body><div><a href=1>t</a><br>s</div>",
+            "<table><tr><td>1.</td><td>x</td><td><input type=submit></td></tr></table></body>"
+        ));
+        let cfg = MseConfig::default();
+        let mut f = Features::new(&p, &cfg);
+        let d = f.drec(Rec::new(0, 2), Rec::new(2, 5));
+        assert!(d > 0.3, "d = {d}");
+    }
+
+    #[test]
+    fn dinr_mean_of_pairs() {
+        let p = uniform_section();
+        let cfg = MseConfig::default();
+        let mut f = Features::new(&p, &cfg);
+        let rs = recs(&[(0, 2), (2, 4), (4, 6)]);
+        let d = f.dinr(&rs);
+        assert!((0.0..0.05).contains(&d), "dinr = {d}");
+        assert_eq!(f.dinr(&rs[..1]), 0.0);
+        assert_eq!(f.dinr(&[]), 0.0);
+    }
+
+    #[test]
+    fn div_measures_within_record_dissimilarity() {
+        let p = uniform_section();
+        let cfg = MseConfig::default();
+        let mut f = Features::new(&p, &cfg);
+        // link line vs text line within a record → diverse
+        let d = f.div(Rec::new(0, 2));
+        assert!(d > 0.2, "div = {d}");
+        // single line → 0
+        assert_eq!(f.div(Rec::new(0, 1)), 0.0);
+    }
+
+    #[test]
+    fn cohesion_prefers_correct_partition() {
+        // The §4.4 claim: the correct per-record partition has higher
+        // cohesion than both the everything-in-one-record partition and the
+        // one-line-per-record partition.
+        let p = uniform_section();
+        let cfg = MseConfig::default();
+        let mut f = Features::new(&p, &cfg);
+        let correct = recs(&[(0, 2), (2, 4), (4, 6)]);
+        let merged = recs(&[(0, 6)]);
+        let shredded = recs(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        let c_correct = f.cohesion(&correct);
+        let c_merged = f.cohesion(&merged);
+        let c_shredded = f.cohesion(&shredded);
+        assert!(
+            c_correct > c_merged && c_correct > c_shredded,
+            "correct={c_correct} merged={c_merged} shredded={c_shredded}"
+        );
+    }
+
+    #[test]
+    fn davgrs_foreign_record_far() {
+        let p = page(concat!(
+            "<body><div class=r><a href=1>Alpha one</a><br>first snippet</div>",
+            "<div class=r><a href=2>Beta two</a><br>second snippet</div>",
+            "<div class=r><a href=3>Gamma three</a><br>third snippet</div>",
+            "<h3>Header line</h3></body>"
+        ));
+        let cfg = MseConfig::default();
+        let mut f = Features::new(&p, &cfg);
+        let section = recs(&[(0, 2), (2, 4), (4, 6)]);
+        let header = Rec::new(6, 7);
+        let d_foreign = f.davgrs(header, &section);
+        let d_member = f.davgrs(section[0], &section[1..]);
+        assert!(
+            d_foreign > 3.0 * d_member.max(0.01),
+            "foreign={d_foreign} member={d_member}"
+        );
+        assert_eq!(f.davgrs(header, &[]), f64::INFINITY);
+    }
+}

@@ -1,0 +1,216 @@
+//! Wrapper maintenance — drift detection for deployed wrapper sets.
+//!
+//! The paper motivates MSE with "automatic construction and *maintenance*
+//! of metasearch engines" (§1): search engines redesign their result
+//! pages, and a deployed wrapper must notice that it no longer fits
+//! before it silently harvests garbage. This module checks a wrapper set
+//! against a batch of freshly fetched pages and reports per-wrapper
+//! health, so an operator (or a cron job) can trigger re-induction with
+//! new sample pages.
+
+use crate::page::Page;
+use crate::pipeline::{SchemaId, SectionWrapperSet};
+use serde::{Deserialize, Serialize};
+
+/// Health of one concrete wrapper across a batch of pages.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WrapperStatus {
+    /// Fired on most pages with plausible record counts.
+    Healthy { hits: usize },
+    /// Fired on some pages, or fired with implausible record counts.
+    Degraded { hits: usize, anomalies: usize },
+    /// Never fired on the batch.
+    Dead,
+}
+
+/// Batch health report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HealthReport {
+    pub pages_checked: usize,
+    /// Status per concrete (non-absorbed) wrapper, indexed like
+    /// `SectionWrapperSet::wrappers`; absorbed wrappers get `None`.
+    pub wrappers: Vec<Option<WrapperStatus>>,
+    /// Sections contributed by families across the batch.
+    pub family_sections: usize,
+    /// Pages from which nothing at all was extracted.
+    pub empty_pages: usize,
+}
+
+impl HealthReport {
+    /// A rebuild is advisable when any wrapper is dead, or most pages come
+    /// back empty.
+    pub fn needs_rebuild(&self) -> bool {
+        let dead = self
+            .wrappers
+            .iter()
+            .flatten()
+            .any(|s| matches!(s, WrapperStatus::Dead));
+        dead || (self.pages_checked > 0 && self.empty_pages * 2 > self.pages_checked)
+    }
+
+    /// Fraction of wrappers that are healthy.
+    pub fn healthy_fraction(&self) -> f64 {
+        let total = self.wrappers.iter().flatten().count();
+        if total == 0 {
+            return 0.0;
+        }
+        let healthy = self
+            .wrappers
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, WrapperStatus::Healthy { .. }))
+            .count();
+        healthy as f64 / total as f64
+    }
+}
+
+impl SectionWrapperSet {
+    /// Check this wrapper set against freshly fetched pages.
+    pub fn health_check(&self, pages: &[(&str, Option<&str>)]) -> HealthReport {
+        let n_wrappers = self.wrappers.len();
+        let mut hits = vec![0usize; n_wrappers];
+        let mut anomalies = vec![0usize; n_wrappers];
+        let mut family_sections = 0usize;
+        let mut empty_pages = 0usize;
+
+        for (html, query) in pages {
+            let page = Page::from_html(html, *query);
+            let ex = self.extract_page(&page);
+            if ex.sections.is_empty() {
+                empty_pages += 1;
+            }
+            for sec in &ex.sections {
+                match sec.schema {
+                    SchemaId::Wrapper(i) => {
+                        hits[i] += 1;
+                        let w = &self.wrappers[i];
+                        // Implausible count: far outside anything seen at
+                        // build time.
+                        if sec.records.len() > w.max_records_seen * 3 + 3 {
+                            anomalies[i] += 1;
+                        }
+                    }
+                    SchemaId::Family(_) => family_sections += 1,
+                }
+            }
+        }
+
+        let wrappers = (0..n_wrappers)
+            .map(|i| {
+                if self.absorbed.contains(&i) {
+                    return None;
+                }
+                let status = if hits[i] == 0 {
+                    WrapperStatus::Dead
+                } else if anomalies[i] > 0 || hits[i] * 2 < pages.len() {
+                    WrapperStatus::Degraded {
+                        hits: hits[i],
+                        anomalies: anomalies[i],
+                    }
+                } else {
+                    WrapperStatus::Healthy { hits: hits[i] }
+                };
+                Some(status)
+            })
+            .collect();
+
+        HealthReport {
+            pages_checked: pages.len(),
+            wrappers,
+            family_sections,
+            empty_pages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mse, MseConfig};
+
+    fn serp(words: &[&str], query: &str) -> String {
+        let mut html = format!(
+            "<body><h1>Seek</h1><p>Results for <b>{query}</b>: 31 found</p>\
+             <h3>Web Results</h3><div class=results>"
+        );
+        for (i, w) in words.iter().enumerate() {
+            html.push_str(&format!(
+                "<div class=r><a href=/d{i}>{w} title</a><br>{w} snippet text</div>"
+            ));
+        }
+        html.push_str("</div><hr><p>Copyright Seek Inc.</p></body>");
+        html
+    }
+
+    fn build() -> crate::SectionWrapperSet {
+        let samples = [
+            (
+                serp(&["alpha", "beta", "gamma", "delta"], "knee injury"),
+                "knee injury",
+            ),
+            (
+                serp(&["red", "green", "blue"], "digital camera"),
+                "digital camera",
+            ),
+            (
+                serp(&["one", "two", "three", "four"], "jazz festival"),
+                "jazz festival",
+            ),
+        ];
+        let refs: Vec<(&str, Option<&str>)> = samples
+            .iter()
+            .map(|(h, q)| (h.as_str(), Some(*q)))
+            .collect();
+        Mse::new(MseConfig::default())
+            .build_with_queries(&refs)
+            .unwrap()
+    }
+
+    #[test]
+    fn healthy_on_same_template() {
+        let ws = build();
+        let pages = [
+            (
+                serp(&["mercury", "venus"], "ocean climate"),
+                "ocean climate",
+            ),
+            (
+                serp(&["earth", "mars", "saturn"], "ancient history"),
+                "ancient history",
+            ),
+        ];
+        let refs: Vec<(&str, Option<&str>)> =
+            pages.iter().map(|(h, q)| (h.as_str(), Some(*q))).collect();
+        let report = ws.health_check(&refs);
+        assert!(!report.needs_rebuild(), "{report:?}");
+        assert_eq!(report.healthy_fraction(), 1.0);
+        assert_eq!(report.empty_pages, 0);
+    }
+
+    #[test]
+    fn dead_after_site_redesign() {
+        let ws = build();
+        // The "redesigned" site: tables instead of divs, new chrome.
+        let redesigned = "<body><div id=newhdr>Seek 2.0</div><table class=new>\
+            <tr><td><a href=/x>thing one</a></td></tr>\
+            <tr><td><a href=/y>thing two</a></td></tr></table></body>";
+        let report = ws.health_check(&[(redesigned, None), (redesigned, None)]);
+        assert!(report.needs_rebuild(), "{report:?}");
+        assert!(report
+            .wrappers
+            .iter()
+            .flatten()
+            .any(|s| matches!(s, WrapperStatus::Dead)));
+    }
+
+    #[test]
+    fn empty_batch_is_not_healthy() {
+        let ws = build();
+        let report = ws.health_check(&[]);
+        assert_eq!(report.pages_checked, 0);
+        assert!(
+            report.needs_rebuild(),
+            "an unchecked wrapper is not known-good"
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Record mining from a dynamic section (paper §5.4).
+//!
+//! A DS arrives as a bare line range. We enumerate candidate *tag forest
+//! separators* (following ViNTs): drill into the DS's top-level forest,
+//! and for every distinct element tag occurring at the top level, form the
+//! partition that starts a new record at each occurrence of that tag. The
+//! partition with the highest *section cohesion* (Formula 7) wins; ties
+//! within `cohesion_tie_eps` break toward more records (identical
+//! single-line records tie at cohesion 0, and the separator evidence must
+//! win then). The single-record partition is always a candidate, which is
+//! what lets a DS holding just one record be mined correctly — the
+//! capability the paper highlights over prior work.
+
+use crate::config::{MiningMode, MseConfig};
+use crate::features::{Features, Rec};
+use crate::page::Page;
+use mse_dom::{NodeId, NodeKind};
+
+/// Mine the record partition of the line range `[start, end)`.
+pub fn mine_records(page: &Page, cfg: &MseConfig, start: usize, end: usize) -> Vec<Rec> {
+    if start >= end {
+        return vec![];
+    }
+    if end - start == 1 {
+        return vec![Rec::new(start, end)];
+    }
+    let candidates = candidate_partitions(page, start, end);
+    match cfg.mining {
+        MiningMode::NaiveFirstSeparator => candidates
+            .into_iter()
+            .find(|p| p.len() > 1)
+            .unwrap_or_else(|| vec![Rec::new(start, end)]),
+        MiningMode::Cohesion => {
+            let mut feats = Features::new(page, cfg);
+            let mut scored: Vec<(f64, Vec<Rec>)> = candidates
+                .into_iter()
+                .map(|p| (feats.cohesion(&p), p))
+                .collect();
+            let best = scored
+                .iter()
+                .map(|(c, _)| *c)
+                .fold(f64::NEG_INFINITY, f64::max);
+            // Tie-break toward more records within eps of the best.
+            scored.retain(|(c, _)| *c >= best - cfg.cohesion_tie_eps);
+            scored
+                .into_iter()
+                .max_by_key(|(_, p)| p.len())
+                .map(|(_, p)| p)
+                .unwrap_or_else(|| vec![Rec::new(start, end)])
+        }
+    }
+}
+
+/// All candidate record partitions of the range (always includes the
+/// single-record partition, listed last).
+pub fn candidate_partitions(page: &Page, start: usize, end: usize) -> Vec<Vec<Rec>> {
+    let dom = &page.rp.dom;
+    // Top-level forest, drilled down through single-element containers.
+    let mut forest = page.rp.forest_of_range(start, end);
+    loop {
+        let elements: Vec<NodeId> = forest
+            .iter()
+            .copied()
+            .filter(|&n| dom[n].is_element())
+            .collect();
+        if elements.len() == 1 && forest.len() == 1 {
+            let inner: Vec<NodeId> = dom
+                .children(elements[0])
+                .filter(|&c| match &dom[c].kind {
+                    NodeKind::Element { .. } => true,
+                    NodeKind::Text(t) => !t.trim().is_empty(),
+                    _ => false,
+                })
+                .collect();
+            if inner.is_empty() {
+                break;
+            }
+            forest = inner;
+        } else {
+            break;
+        }
+    }
+
+    // Owner node (index into `forest`) of each line in the range.
+    let owner_of_line: Vec<Option<usize>> = (start..end)
+        .map(|l| {
+            let leaf = page.rp.lines[l].leaves.first().copied();
+            leaf.and_then(|leaf| {
+                forest
+                    .iter()
+                    .position(|&n| n == leaf || dom.is_ancestor(n, leaf))
+            })
+        })
+        .collect();
+
+    let mut out: Vec<Vec<Rec>> = Vec::new();
+    // Candidate separator predicates: one per distinct top-level tag, plus
+    // one anchored at the start chain of the first node (handles records
+    // spanning several same-tag siblings, e.g. title-row + snippet-row).
+    let mut tags: Vec<&str> = forest.iter().filter_map(|&n| dom[n].tag()).collect();
+    tags.sort();
+    tags.dedup();
+    let mut sep_position_sets: Vec<Vec<usize>> = Vec::new();
+    for tag in tags {
+        sep_position_sets.push(
+            forest
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| dom[n].tag() == Some(tag))
+                .map(|(i, _)| i)
+                .collect(),
+        );
+    }
+    if let Some(&first) = forest.first() {
+        let anchor = crate::wrapper::start_chain(dom, first);
+        sep_position_sets.push(
+            forest
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| crate::wrapper::start_chain(dom, n) == anchor)
+                .map(|(i, _)| i)
+                .collect(),
+        );
+    }
+    for sep_positions in sep_position_sets {
+        if sep_positions.is_empty() {
+            continue;
+        }
+        // Line-level cut points: first line owned by each separator node
+        // (except a separator that starts the range — no cut needed there).
+        let mut cuts: Vec<usize> = Vec::new();
+        for &sp in &sep_positions {
+            if let Some(rel) = owner_of_line.iter().position(|&o| o == Some(sp)) {
+                let line = start + rel;
+                if line > start {
+                    cuts.push(line);
+                }
+            }
+        }
+        cuts.dedup();
+        let mut partition = Vec::new();
+        let mut s = start;
+        for &c in &cuts {
+            partition.push(Rec::new(s, c));
+            s = c;
+        }
+        partition.push(Rec::new(s, end));
+        if !out.contains(&partition) {
+            out.push(partition);
+        }
+    }
+    let single = vec![Rec::new(start, end)];
+    if !out.contains(&single) {
+        out.push(single);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mine(html: &str) -> (Page, Vec<Rec>) {
+        let page = Page::from_html(html, None);
+        let cfg = MseConfig::default();
+        let n = page.n_lines();
+        let recs = mine_records(&page, &cfg, 0, n);
+        (page, recs)
+    }
+
+    #[test]
+    fn single_record_ds() {
+        // One record with two dissimilar lines: the single-record partition
+        // must win (the paper's "even a single SRR could be extracted").
+        let (_, recs) =
+            mine("<body><div class=r><a href=1>Only title</a><br>only snippet text</div></body>");
+        assert_eq!(recs, vec![Rec::new(0, 2)]);
+    }
+
+    #[test]
+    fn two_multi_line_records_split() {
+        let (_, recs) = mine(
+            "<body><div class=results>\
+             <div class=r><a href=1>alpha title</a><br>first snippet</div>\
+             <div class=r><a href=2>beta title</a><br>second snippet</div>\
+             </div></body>",
+        );
+        assert_eq!(recs, vec![Rec::new(0, 2), Rec::new(2, 4)]);
+    }
+
+    #[test]
+    fn two_single_line_records_split_by_tie_break() {
+        // Identical-format one-line records: both partitions have cohesion
+        // ~0; the separator evidence (more records) must win the tie.
+        let (_, recs) = mine(
+            "<body><ul><li><a href=1>alpha item</a></li><li><a href=2>beta item</a></li></ul></body>",
+        );
+        assert_eq!(recs, vec![Rec::new(0, 1), Rec::new(1, 2)]);
+    }
+
+    #[test]
+    fn table_rows_partition() {
+        let (_, recs) = mine(
+            "<body><table>\
+             <tr><td><a href=1>alpha</a><br>s1</td></tr>\
+             <tr><td><a href=2>beta</a><br>s2</td></tr>\
+             <tr><td><a href=3>gamma</a><br>s3</td></tr>\
+             </table></body>",
+        );
+        assert_eq!(recs.len(), 3);
+        assert!(recs.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn drill_down_through_container_chain() {
+        // table > tbody > tr*: two levels of single-element containers.
+        let (_, recs) = mine(
+            "<body><div class=outer><table><tbody>\
+             <tr><td><a href=1>alpha</a><br>s1</td></tr>\
+             <tr><td><a href=2>beta</a><br>s2</td></tr>\
+             </tbody></table></div></body>",
+        );
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn variable_length_records() {
+        let (_, recs) = mine(
+            "<body><div class=results>\
+             <div class=r><a href=1>alpha</a><br>snip one</div>\
+             <div class=r><a href=2>beta</a></div>\
+             <div class=r><a href=3>gamma</a><br>snip three</div>\
+             </div></body>",
+        );
+        assert_eq!(recs, vec![Rec::new(0, 2), Rec::new(2, 3), Rec::new(3, 5)]);
+    }
+
+    #[test]
+    fn paired_divs_mined_at_pair_level() {
+        // Mining alone sees pair divs as separators — granularity (§5.5)
+        // splits them further. Pin the pair-level behavior here.
+        let (_, recs) = mine(
+            "<body><div class=results>\
+             <div class=pair><div class=r><a href=1>a</a><br>s1</div><div class=r><a href=2>b</a><br>s2</div></div>\
+             <div class=pair><div class=r><a href=3>c</a><br>s3</div><div class=r><a href=4>d</a><br>s4</div></div>\
+             </div></body>",
+        );
+        assert_eq!(recs, vec![Rec::new(0, 4), Rec::new(4, 8)]);
+    }
+
+    #[test]
+    fn naive_mode_takes_first_separator() {
+        let page = Page::from_html(
+            "<body><div class=results>\
+             <div class=r><a href=1>alpha</a><br>s1</div>\
+             <div class=r><a href=2>beta</a><br>s2</div>\
+             </div></body>",
+            None,
+        );
+        let cfg = MseConfig {
+            mining: MiningMode::NaiveFirstSeparator,
+            ..MseConfig::default()
+        };
+        let recs = mine_records(&page, &cfg, 0, page.n_lines());
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_single_line_ranges() {
+        let page = Page::from_html("<body><p>x</p></body>", None);
+        let cfg = MseConfig::default();
+        assert!(mine_records(&page, &cfg, 1, 1).is_empty());
+        assert_eq!(mine_records(&page, &cfg, 0, 1), vec![Rec::new(0, 1)]);
+    }
+
+    #[test]
+    fn mixed_heading_plus_records_merges_into_one() {
+        // A DS that accidentally contains a section header (this happens
+        // when a hidden section's header is absent from the partner page
+        // and thus is not a CSBM): the header line is so unlike the record
+        // lines that it inflates the single-record partition's diversity,
+        // and cohesion legitimately merges everything. This is a documented
+        // limitation — the paper's §6 names exactly this class of error as
+        // the reason its section precision (93.1%) trails recall.
+        let (_, recs) = mine(
+            "<body><h4>Stray Header</h4><div class=results>\
+             <div class=r><a href=1>alpha title</a><br>first snippet</div>\
+             <div class=r><a href=2>beta title</a><br>second snippet</div>\
+             </div></body>",
+        );
+        assert_eq!(recs, vec![Rec::new(0, 5)]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Pipeline-side page wrapper: rendered page + cleaned lines + cached
+//! per-line record features.
+
+use crate::config::MseConfig;
+use mse_render::{LineType, RenderedPage};
+use mse_treedit::{forest_of, TagTree};
+
+/// Cleaned-text placeholder for an `<hr>` line (matches testbed's marker).
+pub const HR_TEXT: &str = "[HR]";
+/// Cleaned-text placeholder for an image-only line.
+pub const IMG_TEXT: &str = "[IMG]";
+
+/// A sample (or test) page as the pipeline sees it.
+#[derive(Clone, Debug)]
+pub struct Page {
+    pub rp: RenderedPage,
+    /// The query that produced the page, if known — used by `clean_line`.
+    pub query: Option<String>,
+    /// Per-line cleaned text (dynamic components removed, §5.2 lines 1–2).
+    pub cleaned: Vec<String>,
+}
+
+impl Page {
+    pub fn new(rp: RenderedPage, query: Option<&str>) -> Page {
+        let cleaned = rp
+            .lines
+            .iter()
+            .map(|l| match l.ltype {
+                LineType::Hr => HR_TEXT.to_string(),
+                LineType::Image if l.text.is_empty() => IMG_TEXT.to_string(),
+                _ => clean_line(&l.text, query),
+            })
+            .collect();
+        Page {
+            rp,
+            query: query.map(str::to_string),
+            cleaned,
+        }
+    }
+
+    pub fn from_html(html: &str, query: Option<&str>) -> Page {
+        Page::new(RenderedPage::from_html(html), query)
+    }
+
+    #[inline]
+    pub fn n_lines(&self) -> usize {
+        self.rp.lines.len()
+    }
+
+    /// Tag forest (as owned [`TagTree`]s) for a line range.
+    pub fn forest(&self, start: usize, end: usize) -> Vec<TagTree> {
+        let nodes = self.rp.forest_of_range(start, end);
+        forest_of(&self.rp.dom, &nodes)
+    }
+
+    /// The record's visible line texts with Hr/Image placeholders — the
+    /// form ground truth and extraction results are compared in.
+    pub fn line_texts(&self, start: usize, end: usize) -> Vec<String> {
+        self.rp.lines[start..end]
+            .iter()
+            .map(|l| match l.ltype {
+                LineType::Hr => HR_TEXT.to_string(),
+                LineType::Image if l.text.is_empty() => IMG_TEXT.to_string(),
+                _ => l.text.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Remove the dynamic components of a content line (paper §5.2, lines 1–2
+/// of Algorithm DSE): all numbers and all query terms, so that
+/// "Your search returned 578 matches" matches "Your search returned 89
+/// matches" across pages.
+pub fn clean_line(text: &str, query: Option<&str>) -> String {
+    let mut out = String::with_capacity(text.len());
+    for token in text.split_whitespace() {
+        // Strip digits from the token; drop it entirely if it was all
+        // digits/punctuation around digits.
+        let stripped: String = token.chars().filter(|c| !c.is_ascii_digit()).collect();
+        if stripped.is_empty() {
+            continue;
+        }
+        // Query-term removal (case-insensitive, word-level).
+        if let Some(q) = query {
+            let lower = normalize_word(&stripped);
+            if q.split_whitespace()
+                .any(|qt| normalize_word(qt) == lower && !lower.is_empty())
+            {
+                continue;
+            }
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&stripped);
+    }
+    out
+}
+
+fn normalize_word(w: &str) -> String {
+    w.trim_matches(|c: char| !c.is_alphanumeric())
+        .to_ascii_lowercase()
+}
+
+/// The content-line span covered by a DOM node's leaves, if any.
+pub fn node_line_span(page: &Page, node: mse_dom::NodeId) -> Option<(usize, usize)> {
+    let mut lo = None;
+    let mut hi = None;
+    for (idx, line) in page.rp.lines.iter().enumerate() {
+        if line
+            .leaves
+            .iter()
+            .any(|&leaf| node == leaf || page.rp.dom.is_ancestor(node, leaf))
+        {
+            if lo.is_none() {
+                lo = Some(idx);
+            }
+            hi = Some(idx + 1);
+        }
+    }
+    Some((lo?, hi?))
+}
+
+/// `Dinr` with the configured floor applied — the denominator-side use of
+/// Formula 5 in the `W × Dinr` tests. Kept here so every caller floors the
+/// same way.
+pub fn floored(dinr: f64, cfg: &MseConfig) -> f64 {
+    dinr.max(cfg.min_dinr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_removes_numbers() {
+        assert_eq!(
+            clean_line("Your search returned 578 matches.", None),
+            "Your search returned matches."
+        );
+        assert_eq!(clean_line("12/25/2004", None), "//");
+        assert_eq!(clean_line("42", None), "");
+    }
+
+    #[test]
+    fn clean_removes_query_terms() {
+        assert_eq!(
+            clean_line(
+                "Your search for knee injury returned 5 matches.",
+                Some("knee injury")
+            ),
+            "Your search for returned matches."
+        );
+        // Case-insensitive, punctuation-tolerant.
+        assert_eq!(clean_line("Knee, injury!", Some("knee injury")), "");
+    }
+
+    #[test]
+    fn clean_without_query_keeps_words() {
+        assert_eq!(clean_line("knee injury guide", None), "knee injury guide");
+    }
+
+    #[test]
+    fn page_cleaned_lines_align() {
+        let p = Page::from_html(
+            "<body><p>Results for cats: 99 found</p><hr><p><img src=x></p></body>",
+            Some("cats"),
+        );
+        assert_eq!(p.cleaned.len(), p.n_lines());
+        assert_eq!(p.cleaned[0], "Results for found"); // "cats:" is a query token
+        assert_eq!(p.cleaned[1], HR_TEXT);
+        assert_eq!(p.cleaned[2], IMG_TEXT);
+    }
+
+    #[test]
+    fn forest_and_texts() {
+        let p = Page::from_html("<body><div><a href=x>t</a><br>s</div></body>", None);
+        let f = p.forest(0, 2);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].root_label(), "div");
+        assert_eq!(p.line_texts(0, 2), vec!["t", "s"]);
+    }
+}

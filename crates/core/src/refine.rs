@@ -1,0 +1,449 @@
+//! Refining MRs and DSs (paper §5.3).
+//!
+//! MRs (from MRE) and DSs (from DSE) describe the same page through two
+//! independent lenses; comparing them fixes each other's mistakes:
+//!
+//! * **Case 1** — exact match: high confidence, keep as is.
+//! * **Case 2/3/4** — containment / intersection: records confirmed by both
+//!   (the overlap `OL`) anchor the boundary checks. Records sticking out of
+//!   the DS (`EM`) are kept only if they are *similar* to `OL`
+//!   (`Davgrs ≤ W·Dinr` ⇒ the LBM/RBM was false and the section extends);
+//!   DS lines not covered by the MR (`ED`) are grown into tentative records
+//!   from the overlap outward, accepted while similar, and the leftover
+//!   becomes a new DS (Algorithm Refine_MR_DS_4, Figure 8).
+//! * **Case 5** — an MR overlapping no DS is static repeating content and
+//!   is discarded; a DS overlapping no MR is genuinely dynamic and goes to
+//!   record mining (§5.4).
+
+use crate::config::MseConfig;
+use crate::features::{Features, Rec};
+use crate::mining::mine_records;
+use crate::page::{floored, Page};
+use crate::section::SectionInst;
+
+/// Refine one page's MRs against its DSs; returns the page's final section
+/// instances (records identified for every section).
+pub fn refine(
+    page: &Page,
+    cfg: &MseConfig,
+    mrs: &[SectionInst],
+    dss: &[SectionInst],
+    csbm: &[bool],
+) -> Vec<SectionInst> {
+    let mut feats = Features::new(page, cfg);
+    let mut out: Vec<SectionInst> = Vec::new();
+
+    for ds in dss {
+        // MRs overlapping this DS, in document order.
+        let over: Vec<&SectionInst> = mrs
+            .iter()
+            .filter(|mr| mr.overlap(ds.start, ds.end) > 0)
+            .collect();
+        if over.is_empty() {
+            // Case 5 (DS side): genuinely dynamic, mine records directly.
+            let records = mine_records(page, cfg, ds.start, ds.end);
+            if !records.is_empty() {
+                out.push(with_markers(SectionInst::from_records(records), csbm));
+            }
+            continue;
+        }
+
+        // Align each overlapping MR inside the DS; collect the aligned
+        // sections and the uncovered gaps.
+        #[allow(unused_mut)]
+        let mut aligned: Vec<SectionInst> = Vec::new();
+        for mr in over {
+            if let Some(sec) = align_mr_in_ds(cfg, &mut feats, mr, ds) {
+                aligned.push(sec);
+            }
+        }
+        aligned.sort_by_key(|s| s.start);
+        aligned.retain(|s| !s.records.is_empty());
+        // Two MRs aligned in one DS can overlap (they were discovered by
+        // different anchor patterns); clip later sections against earlier
+        // ones so refined output is always disjoint.
+        {
+            let mut cursor = 0usize;
+            let mut clipped: Vec<SectionInst> = Vec::new();
+            for mut sec in aligned {
+                sec.records.retain(|r| r.start >= cursor);
+                if sec.records.is_empty() {
+                    continue;
+                }
+                sec.start = sec.records.first().unwrap().start;
+                sec.end = sec.records.last().unwrap().end;
+                cursor = sec.end;
+                clipped.push(sec);
+            }
+            aligned = clipped;
+        }
+
+        if aligned.is_empty() {
+            let records = mine_records(page, cfg, ds.start, ds.end);
+            if !records.is_empty() {
+                out.push(with_markers(SectionInst::from_records(records), csbm));
+            }
+            continue;
+        }
+
+        // Grow each aligned section into the adjacent uncovered DS lines
+        // (the ED part of Refine_MR_DS_4), then mine whatever remains.
+        let mut cursor = ds.start;
+        let mut grown: Vec<SectionInst> = Vec::new();
+        let n_aligned = aligned.len();
+        let next_starts: Vec<usize> = aligned
+            .iter()
+            .skip(1)
+            .map(|s| s.start)
+            .chain(std::iter::once(ds.end))
+            .collect();
+        for (k, mut sec) in aligned.into_iter().enumerate() {
+            // Left gap [cursor, sec.start).
+            grow_left(cfg, &mut feats, &mut sec, cursor);
+            if sec.start > cursor {
+                // Leftover left gap is a new DS fragment.
+                let records = mine_records(page, cfg, cursor, sec.start);
+                if !records.is_empty() {
+                    grown.push(with_markers(SectionInst::from_records(records), csbm));
+                }
+            }
+            // Right gap: grow only up to the next aligned section — two
+            // same-format adjacent sections must never absorb each other.
+            let _ = n_aligned;
+            grow_right(cfg, &mut feats, &mut sec, next_starts[k]);
+            cursor = sec.end;
+            grown.push(with_markers(sec, csbm));
+        }
+        if cursor < ds.end {
+            let records = mine_records(page, cfg, cursor, ds.end);
+            if !records.is_empty() {
+                grown.push(with_markers(SectionInst::from_records(records), csbm));
+            }
+        }
+        grown.sort_by_key(|s| s.start);
+        out.extend(grown);
+    }
+    // Case 5 (MR side) is implicit: MRs overlapping no DS were never
+    // visited — they are static repeating patterns and are dropped.
+    out.sort_by_key(|s| s.start);
+    out
+}
+
+/// Clip an MR to a DS: records fully inside become the section; records
+/// sticking out (EM) are re-admitted one by one while they resemble the
+/// overlap (the paper's false-LBM/RBM correction).
+fn align_mr_in_ds(
+    cfg: &MseConfig,
+    feats: &mut Features,
+    mr: &SectionInst,
+    ds: &SectionInst,
+) -> Option<SectionInst> {
+    let inside: Vec<Rec> = mr
+        .records
+        .iter()
+        .copied()
+        .filter(|r| r.start >= ds.start && r.end <= ds.end)
+        .collect();
+    if inside.is_empty() {
+        return None;
+    }
+    let mut ol = inside;
+    // EM on the left: records before the DS, nearest first.
+    let mut em_left: Vec<Rec> = mr
+        .records
+        .iter()
+        .copied()
+        .filter(|r| r.start < ds.start)
+        .collect();
+    // EM on the right.
+    let mut em_right: Vec<Rec> = mr
+        .records
+        .iter()
+        .copied()
+        .filter(|r| r.end > ds.end)
+        .collect();
+
+    // Paper loop (lines 2–6 of Figure 8): br is the EM record holding the
+    // current LBM. If it is foreign to OL the marker is verified and EM is
+    // discarded; otherwise the marker was false and br joins the section.
+    while let Some(&br) = em_left.last() {
+        let dinr = floored(feats.dinr(&ol), cfg);
+        if feats.davgrs(br, &ol) > cfg.w_threshold * dinr {
+            break; // LBM verified; EM discarded
+        }
+        ol.insert(0, br);
+        em_left.pop();
+    }
+    while let Some(&br) = em_right.first() {
+        let dinr = floored(feats.dinr(&ol), cfg);
+        if feats.davgrs(br, &ol) > cfg.w_threshold * dinr {
+            break; // RBM verified
+        }
+        ol.push(br);
+        em_right.remove(0);
+    }
+    Some(SectionInst::from_records(ol))
+}
+
+/// Grow a section leftward into the gap `[limit, sec.start)` by forming
+/// tentative records (cumulative line suffixes nearest-first, mirroring the
+/// paper's ED loop) and accepting them while similar to the section.
+fn grow_left(cfg: &MseConfig, feats: &mut Features, sec: &mut SectionInst, limit: usize) {
+    loop {
+        if sec.start <= limit {
+            return;
+        }
+        let gap_end = sec.start;
+        // Tentative records: [gap_end-1, gap_end), [gap_end-2, gap_end)…
+        let mut best: Option<(Rec, f64)> = None;
+        for s in (limit..gap_end).rev() {
+            if gap_end - s > cfg.max_record_lines {
+                break;
+            }
+            let rt = Rec::new(s, gap_end);
+            let d = feats.davgrs(rt, &sec.records);
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((rt, d));
+            }
+        }
+        let (rt, d) = match best {
+            Some(b) => b,
+            None => return,
+        };
+        let dinr = floored(feats.dinr(&sec.records), cfg);
+        if d <= cfg.w_threshold * dinr {
+            sec.records.insert(0, rt);
+            sec.start = rt.start;
+        } else {
+            return;
+        }
+    }
+}
+
+/// Grow a section rightward into `[sec.end, limit)` the same way.
+fn grow_right(cfg: &MseConfig, feats: &mut Features, sec: &mut SectionInst, limit: usize) {
+    loop {
+        if sec.end >= limit {
+            return;
+        }
+        let gap_start = sec.end;
+        let mut best: Option<(Rec, f64)> = None;
+        for e in gap_start + 1..=limit {
+            if e - gap_start > cfg.max_record_lines {
+                break;
+            }
+            let rt = Rec::new(gap_start, e);
+            let d = feats.davgrs(rt, &sec.records);
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((rt, d));
+            }
+        }
+        let (rt, d) = match best {
+            Some(b) => b,
+            None => return,
+        };
+        let dinr = floored(feats.dinr(&sec.records), cfg);
+        if d <= cfg.w_threshold * dinr {
+            sec.records.push(rt);
+            sec.end = rt.end;
+        } else {
+            return;
+        }
+    }
+}
+
+/// Attach the nearest CSBM on each side as LBM/RBM.
+fn with_markers(mut sec: SectionInst, csbm: &[bool]) -> SectionInst {
+    sec.lbm = (0..sec.start).rev().find(|&i| csbm[i]);
+    sec.rbm = (sec.end..csbm.len()).find(|&i| csbm[i]);
+    sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dse::{csbm_flags, identify_dss};
+    use crate::mre::mre;
+
+    /// End-to-end steps 2–4 on a pair of pages; returns page 1's sections.
+    fn run(html1: &str, html2: &str, q1: &str, q2: &str) -> (Page, Vec<SectionInst>) {
+        let cfg = MseConfig::default();
+        let p1 = Page::from_html(html1, Some(q1));
+        let p2 = Page::from_html(html2, Some(q2));
+        let mrs = vec![mre(&p1, &cfg), mre(&p2, &cfg)];
+        let pages = vec![p1, p2];
+        let flags = csbm_flags(&pages, &mrs, &cfg);
+        let secs = refine(
+            &pages[0],
+            &cfg,
+            &mrs[0],
+            &identify_dss(&pages[0], &flags[0]),
+            &flags[0],
+        );
+        (pages.into_iter().next().unwrap(), secs)
+    }
+
+    fn serp(records: &[(&str, &str)], query: &str, count: usize, with_nav: bool) -> String {
+        let mut html = String::from("<body><h1>TestSeek</h1>");
+        if with_nav {
+            html.push_str("<div class=nav><b>Browse</b><br><a href=/c1>Health</a><br><a href=/c2>Tech</a><br><a href=/c3>Travel</a><br><a href=/c4>Music</a><br></div>");
+        }
+        html.push_str(&format!(
+            "<p>Your search for <b>{query}</b> returned {count} matches.</p><h3>Web Results</h3><div class=results>"
+        ));
+        for (i, (t, s)) in records.iter().enumerate() {
+            html.push_str(&format!(
+                "<div class=r><a href=\"/d{i}\">{t}</a><br>{s}</div>"
+            ));
+        }
+        html.push_str("</div><p><a href=/more>Click Here for More</a></p><hr><p>Copyright 2006 TestSeek Inc.</p></body>");
+        html
+    }
+
+    #[test]
+    fn static_nav_trap_discarded_case5() {
+        let h1 = serp(
+            &[
+                ("alpha one", "s one"),
+                ("beta two", "s two"),
+                ("gamma three", "s three"),
+                ("delta four", "s four"),
+            ],
+            "knee injury",
+            523,
+            true,
+        );
+        let h2 = serp(
+            &[
+                ("epsilon five", "s five"),
+                ("zeta six", "s six"),
+                ("eta seven", "s seven"),
+            ],
+            "digital camera",
+            77,
+            true,
+        );
+        let (p1, secs) = run(&h1, &h2, "knee injury", "digital camera");
+        // Exactly one dynamic section; the 4-link nav MR must be gone.
+        assert_eq!(secs.len(), 1, "{secs:?}");
+        assert_eq!(secs[0].records.len(), 4);
+        for r in &secs[0].records {
+            let text = p1.line_texts(r.start, r.end).join(" ");
+            assert!(!text.contains("Health"), "nav leaked into section: {text}");
+        }
+    }
+
+    #[test]
+    fn case1_exact_match_keeps_records() {
+        let h1 = serp(
+            &[
+                ("alpha one", "s one"),
+                ("beta two", "s two"),
+                ("gamma three", "s three"),
+            ],
+            "knee injury",
+            10,
+            false,
+        );
+        let h2 = serp(
+            &[
+                ("epsilon five", "s five"),
+                ("zeta six", "s six"),
+                ("eta seven", "s seven"),
+                ("theta eight", "s eight"),
+            ],
+            "digital camera",
+            20,
+            false,
+        );
+        let (_, secs) = run(&h1, &h2, "knee injury", "digital camera");
+        assert_eq!(secs.len(), 1);
+        assert_eq!(secs[0].records.len(), 3);
+        assert!(secs[0].lbm.is_some() && secs[0].rbm.is_some());
+    }
+
+    #[test]
+    fn small_section_without_mr_is_mined() {
+        // A 2-record second section: MRE can't see it (< 3 records) but the
+        // DS survives refinement and is mined.
+        let mk = |main: [(&str, &str); 4], ts: [&str; 2], query: &str| {
+            let mut html = serp(&main, query, 30, false);
+            // insert a News section before the footer
+            // Bylines vary across pages here; identical bylines would be
+            // false CSBMs — that phenomenon is exercised by the granularity
+            // tests (§5.5), not this one.
+            let news = format!(
+                "<h3>News</h3><div class=news><p><a href=/n0>{}</a><br><i>by {}</i></p><p><a href=/n1>{}</a><br><i>by {}</i></p></div>",
+                ts[0], ts[0], ts[1], ts[1]
+            );
+            html = html.replace("<hr>", &format!("{news}<hr>"));
+            html
+        };
+        let h1 = mk(
+            [
+                ("alpha one", "first snip"),
+                ("beta two", "second snip"),
+                ("gamma three", "third snip"),
+                ("delta four", "fourth snip"),
+            ],
+            ["sun rises", "moon sets"],
+            "knee injury",
+        );
+        let h2 = mk(
+            [
+                ("red five", "fifth snip"),
+                ("green six", "sixth snip"),
+                ("blue seven", "seventh snip"),
+                ("teal eight", "eighth snip"),
+            ],
+            ["rain falls", "wind blows"],
+            "digital camera",
+        );
+        let (p1, secs) = run(&h1, &h2, "knee injury", "digital camera");
+        assert_eq!(secs.len(), 2, "{secs:?}");
+        let news = &secs[1];
+        assert_eq!(news.records.len(), 2, "{news:?}");
+        let texts = p1.line_texts(news.records[0].start, news.records[0].end);
+        assert_eq!(texts, vec!["sun rises", "by sun rises"]);
+    }
+
+    #[test]
+    fn case3_ds_containing_mr_splits_off_fragment() {
+        // Page 1 has hidden section B (absent from page 2): B's header is
+        // not a CSBM, so DS = A records + B header + B records. The MR for
+        // A anchors the alignment and the B fragment is mined separately.
+        let mk = |with_b: bool, words: [&str; 4], query: &str| {
+            let mut html = String::from("<body><h1>Seek</h1><h3>Alpha</h3><div class=results>");
+            for (i, w) in words.iter().enumerate() {
+                html.push_str(&format!(
+                    "<div class=r><a href=/a{i}>{w} title</a><br>{w} snippet text</div>"
+                ));
+            }
+            html.push_str("</div>");
+            if with_b {
+                html.push_str("<h3>Beta</h3><table><tr><td>9.</td><td><a href=/b0>bee one</a></td><td>1/2/2003</td></tr><tr><td>7.</td><td><a href=/b1>bee two</a></td><td>3/4/2004</td></tr></table>");
+            }
+            html.push_str(&format!("<hr><p>Copyright Seek {query}</p></body>"));
+            html
+        };
+        let h1 = mk(true, ["alpha", "beta", "gamma", "delta"], "knee injury");
+        let h2 = mk(false, ["red", "green", "blue", "teal"], "digital camera");
+        let (p1, secs) = run(&h1, &h2, "knee injury", "digital camera");
+        // Section A with its 4 records must be cleanly recovered.
+        let a = secs
+            .iter()
+            .find(|s| {
+                p1.line_texts(s.start, s.end)
+                    .join(" ")
+                    .contains("alpha title")
+            })
+            .expect("section A missing");
+        assert_eq!(a.records.len(), 4, "{a:?}");
+        assert!(
+            !p1.line_texts(a.start, a.end).join(" ").contains("bee one"),
+            "B leaked into A"
+        );
+        // The B fragment survives as one or more extra sections.
+        assert!(secs.len() >= 2, "{secs:?}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Section instances — the unit flowing through pipeline steps 2–7.
+
+use crate::features::Rec;
+use serde::{Deserialize, Serialize};
+
+/// A section instance on one page: a line range, its record partition, and
+/// its boundary markers (line indices of the CSBMs just outside the range).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SectionInst {
+    pub start: usize,
+    pub end: usize,
+    pub records: Vec<Rec>,
+    pub lbm: Option<usize>,
+    pub rbm: Option<usize>,
+}
+
+impl SectionInst {
+    pub fn from_records(records: Vec<Rec>) -> SectionInst {
+        debug_assert!(!records.is_empty());
+        SectionInst {
+            start: records.first().unwrap().start,
+            end: records.last().unwrap().end,
+            records,
+            lbm: None,
+            rbm: None,
+        }
+    }
+
+    pub fn span(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+
+    pub fn len_lines(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Overlap in lines with another span.
+    pub fn overlap(&self, start: usize, end: usize) -> usize {
+        let s = self.start.max(start);
+        let e = self.end.min(end);
+        e.saturating_sub(s)
+    }
+}
+
+/// Overlap fraction relative to the smaller of the two spans.
+pub fn overlap_frac(a: (usize, usize), b: (usize, usize)) -> f64 {
+    let inter = a.1.min(b.1).saturating_sub(a.0.max(b.0));
+    let smaller = (a.1 - a.0).min(b.1 - b.0);
+    if smaller == 0 {
+        return 0.0;
+    }
+    inter as f64 / smaller as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_records_sets_span() {
+        let s = SectionInst::from_records(vec![Rec::new(3, 5), Rec::new(5, 8)]);
+        assert_eq!(s.span(), (3, 8));
+        assert_eq!(s.len_lines(), 5);
+    }
+
+    #[test]
+    fn overlap_math() {
+        let s = SectionInst::from_records(vec![Rec::new(2, 6)]);
+        assert_eq!(s.overlap(0, 3), 1);
+        assert_eq!(s.overlap(6, 9), 0);
+        assert_eq!(s.overlap(2, 6), 4);
+        assert!((overlap_frac((0, 4), (2, 8)) - 0.5).abs() < 1e-12);
+        assert_eq!(overlap_frac((0, 2), (4, 6)), 0.0);
+        assert_eq!(overlap_frac((0, 0), (0, 4)), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests over the pipeline's core invariants.
+
+use mse_core::mining::mine_records;
+use mse_core::page::clean_line;
+use mse_core::{Features, MseConfig, Page, Rec};
+use proptest::prelude::*;
+
+fn serp_like() -> impl Strategy<Value = String> {
+    // Random small sections: style, record count, optional lines.
+    (
+        0usize..4,                                   // style
+        1usize..7,                                   // records
+        proptest::collection::vec(any::<bool>(), 7), // optional flags
+        proptest::collection::vec("[a-z]{3,8}", 14), // words
+    )
+        .prop_map(|(style, n, opts, words)| {
+            let w = |i: usize| words[i % words.len()].clone();
+            let mut html = String::from("<body><h3>Results</h3>");
+            let (open, close) = match style {
+                0 => ("<div class=r>", "</div>"),
+                1 => ("<table>", "</table>"),
+                2 => ("<ol>", "</ol>"),
+                _ => ("<div class=n>", "</div>"),
+            };
+            html.push_str(open);
+            for i in 0..n {
+                match style {
+                    0 => {
+                        html.push_str(&format!("<div><a href=/{i}>{} {}</a>", w(i), w(i + 3)));
+                        if opts[i % opts.len()] {
+                            html.push_str(&format!("<br>{} {} {}", w(i + 1), w(i + 4), w(i + 6)));
+                        }
+                        html.push_str("</div>");
+                    }
+                    1 => html.push_str(&format!(
+                        "<tr><td><a href=/{i}>{} {}</a><br>{}</td></tr>",
+                        w(i),
+                        w(i + 2),
+                        w(i + 5)
+                    )),
+                    2 => html.push_str(&format!("<li><a href=/{i}>{} {}</a></li>", w(i), w(i + 1))),
+                    _ => {
+                        html.push_str(&format!(
+                            "<p><a href=/{i}>{} {}</a><br><i>{}</i></p>",
+                            w(i),
+                            w(i + 2),
+                            w(i + 4)
+                        ));
+                    }
+                }
+            }
+            html.push_str(close);
+            html.push_str("</body>");
+            html
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// clean_line is idempotent and never reintroduces digits.
+    #[test]
+    fn clean_line_idempotent(text in "[a-zA-Z0-9 ,.$/()-]{0,40}", q in "[a-z]{2,8}") {
+        let once = clean_line(&text, Some(&q));
+        let twice = clean_line(&once, Some(&q));
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(!once.chars().any(|c| c.is_ascii_digit()));
+    }
+
+    /// mine_records always returns a contiguous exact partition of the
+    /// requested range.
+    #[test]
+    fn mining_partitions_exactly(html in serp_like()) {
+        let page = Page::from_html(&html, None);
+        let cfg = MseConfig::default();
+        let n = page.n_lines();
+        if n == 0 {
+            return Ok(());
+        }
+        let recs = mine_records(&page, &cfg, 0, n);
+        prop_assert!(!recs.is_empty());
+        prop_assert_eq!(recs.first().unwrap().start, 0);
+        prop_assert_eq!(recs.last().unwrap().end, n);
+        for w in recs.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start, "gap or overlap in partition");
+        }
+    }
+
+    /// The §4 measures stay within their documented ranges.
+    #[test]
+    fn measures_bounded(html in serp_like()) {
+        let page = Page::from_html(&html, None);
+        let cfg = MseConfig::default();
+        let n = page.n_lines();
+        if n < 2 {
+            return Ok(());
+        }
+        let mut feats = Features::new(&page, &cfg);
+        let a = Rec::new(0, n / 2);
+        let b = Rec::new(n / 2, n);
+        let d = feats.drec(a, b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d), "Drec out of range: {d}");
+        let div = feats.div(a);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&div), "Div out of range: {div}");
+        let dinr = feats.dinr(&[a, b]);
+        prop_assert!(dinr >= 0.0);
+        let coh = feats.cohesion(&[a, b]);
+        prop_assert!(coh >= 0.0);
+        // Drec symmetry.
+        let d2 = feats.drec(b, a);
+        prop_assert!((d - d2).abs() < 1e-9, "Drec asymmetric: {d} vs {d2}");
+    }
+
+    /// analyze_pages never panics and produces well-formed sections on any
+    /// pair of generated pages.
+    #[test]
+    fn analyze_well_formed(h1 in serp_like(), h2 in serp_like()) {
+        let pages = vec![
+            Page::from_html(&h1, None),
+            Page::from_html(&h2, None),
+        ];
+        let cfg = MseConfig::default();
+        let sections = mse_core::analyze_pages(&pages, &cfg);
+        for (p, secs) in sections.iter().enumerate() {
+            let n = pages[p].n_lines();
+            for s in secs {
+                prop_assert!(s.start < s.end && s.end <= n, "bad section span");
+                prop_assert!(!s.records.is_empty(), "section without records");
+                for w in s.records.windows(2) {
+                    prop_assert!(w[0].end <= w[1].start, "overlapping records");
+                }
+                for r in &s.records {
+                    prop_assert!(r.start >= s.start && r.end <= s.end);
+                }
+            }
+        }
+    }
+}

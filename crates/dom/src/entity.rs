@@ -1,0 +1,169 @@
+//! HTML entity decoding.
+//!
+//! Covers the named entities that actually occur on 2006-era search result
+//! pages plus numeric (`&#NNN;` / `&#xHH;`) references. Unknown entities are
+//! left verbatim, which is what browsers of the era did.
+
+/// Decode entity references in `input`.
+pub fn decode_entities(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let bytes = input.as_bytes();
+    let mut out = String::with_capacity(input.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some((decoded, consumed)) = decode_one(&input[i..]) {
+                out.push_str(&decoded);
+                i += consumed;
+                continue;
+            }
+        }
+        // Push the (possibly multi-byte) char starting at i.
+        let ch = input[i..].chars().next().unwrap();
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+/// Try to decode a single entity at the start of `s` (which begins with `&`).
+/// Returns the decoded text and the number of bytes consumed.
+fn decode_one(s: &str) -> Option<(String, usize)> {
+    debug_assert!(s.starts_with('&'));
+    let semi = s[..s.len().min(12)].find(';')?;
+    let body = &s[1..semi];
+    if let Some(num) = body.strip_prefix('#') {
+        let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+            u32::from_str_radix(hex, 16).ok()?
+        } else {
+            num.parse::<u32>().ok()?
+        };
+        let ch = char::from_u32(code)?;
+        return Some((ch.to_string(), semi + 1));
+    }
+    let text = match body {
+        "amp" => "&",
+        "lt" => "<",
+        "gt" => ">",
+        "quot" => "\"",
+        "apos" => "'",
+        "nbsp" => "\u{a0}",
+        "copy" => "\u{a9}",
+        "reg" => "\u{ae}",
+        "trade" => "\u{2122}",
+        "mdash" => "\u{2014}",
+        "ndash" => "\u{2013}",
+        "hellip" => "\u{2026}",
+        "lsquo" => "\u{2018}",
+        "rsquo" => "\u{2019}",
+        "ldquo" => "\u{201c}",
+        "rdquo" => "\u{201d}",
+        "middot" => "\u{b7}",
+        "bull" => "\u{2022}",
+        "raquo" => "\u{bb}",
+        "laquo" => "\u{ab}",
+        "deg" => "\u{b0}",
+        "pound" => "\u{a3}",
+        "euro" => "\u{20ac}",
+        "yen" => "\u{a5}",
+        "cent" => "\u{a2}",
+        "sect" => "\u{a7}",
+        "para" => "\u{b6}",
+        "times" => "\u{d7}",
+        "divide" => "\u{f7}",
+        "frac12" => "\u{bd}",
+        "frac14" => "\u{bc}",
+        "plusmn" => "\u{b1}",
+        "agrave" => "\u{e0}",
+        "eacute" => "\u{e9}",
+        "egrave" => "\u{e8}",
+        "uuml" => "\u{fc}",
+        "ouml" => "\u{f6}",
+        "auml" => "\u{e4}",
+        "ntilde" => "\u{f1}",
+        "ccedil" => "\u{e7}",
+        _ => return None,
+    };
+    Some((text.to_string(), semi + 1))
+}
+
+/// Escape the five XML-significant characters for safe re-serialization.
+pub fn escape_text(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape text for use inside a double-quoted attribute value.
+pub fn escape_attr(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_entities() {
+        assert_eq!(decode_entities("a &amp; b"), "a & b");
+        assert_eq!(decode_entities("&lt;tag&gt;"), "<tag>");
+        assert_eq!(decode_entities("x&nbsp;y"), "x\u{a0}y");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(decode_entities("&#65;&#x42;"), "AB");
+        assert_eq!(decode_entities("&#8212;"), "\u{2014}");
+    }
+
+    #[test]
+    fn unknown_entities_left_verbatim() {
+        assert_eq!(decode_entities("&bogus; &x"), "&bogus; &x");
+        assert_eq!(decode_entities("R&D"), "R&D");
+    }
+
+    #[test]
+    fn bare_ampersand_at_end() {
+        assert_eq!(decode_entities("a&"), "a&");
+    }
+
+    #[test]
+    fn invalid_numeric_left_verbatim() {
+        assert_eq!(decode_entities("&#xZZ;"), "&#xZZ;");
+        assert_eq!(decode_entities("&#1114112;"), "&#1114112;"); // > char::MAX
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let original = "a < b & c > d";
+        assert_eq!(decode_entities(&escape_text(original)), original);
+    }
+
+    #[test]
+    fn escape_attr_quotes() {
+        assert_eq!(escape_attr("say \"hi\""), "say &quot;hi&quot;");
+    }
+
+    #[test]
+    fn multibyte_passthrough() {
+        assert_eq!(decode_entities("héllo — ok"), "héllo — ok");
+    }
+}

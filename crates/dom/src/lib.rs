@@ -1,0 +1,45 @@
+//! # mse-dom
+//!
+//! HTML tokenizer, pragmatic tag-soup parser, arena-based DOM tree and *tag
+//! paths* for the MSE (Multiple Section Extraction) reproduction.
+//!
+//! The VLDB'06 paper represents every result page as a DOM tree (its §2,
+//! Figure 2) and locates content through *tag paths* — root-to-node paths
+//! whose steps are annotated with a direction: `C` (first child) or `S`
+//! (next sibling) (§4.1). This crate provides:
+//!
+//! * [`parse`] — HTML source → [`Dom`], an arena tree that tolerates the
+//!   tag soup real 2006-era result pages are made of (implied elements,
+//!   unclosed `<p>`/`<li>`/`<tr>`/`<td>`, void elements, raw-text
+//!   `<script>`/`<style>`),
+//! * [`tagpath::TagPath`] / [`tagpath::CompactTagPath`] and the path
+//!   distance `Dtp` (paper Formula 1),
+//! * preorder traversal utilities that enumerate text leaves in visual
+//!   order, the paper's one-dimensional page model.
+//!
+//! ```
+//! use mse_dom::{parse, NodeKind};
+//! let dom = parse("<html><body><p>Hello <b>world</b></p></body></html>");
+//! let texts: Vec<&str> = dom
+//!     .preorder(dom.root())
+//!     .filter_map(|id| match dom[id].kind {
+//!         NodeKind::Text(ref t) => Some(t.as_str()),
+//!         _ => None,
+//!     })
+//!     .collect();
+//! assert_eq!(texts, ["Hello ", "world"]);
+//! ```
+
+pub mod entity;
+pub mod node;
+pub mod parser;
+pub mod serialize;
+pub mod tagpath;
+pub mod tokenizer;
+
+pub use node::{Attr, Dom, NodeData, NodeId, NodeKind};
+pub use parser::parse;
+pub use tagpath::{
+    CompactStep, CompactTagPath, Direction, MergedStep, MergedTagPath, PathNode, TagPath,
+};
+pub use tokenizer::{tokenize, Token};

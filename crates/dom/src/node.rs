@@ -1,0 +1,419 @@
+//! Arena-based DOM tree.
+//!
+//! Nodes live in a single `Vec<NodeData>`; a [`NodeId`] is an index into the
+//! arena. This keeps the tree `Send`, cheap to clone wholesale, and lets the
+//! MSE pipeline talk about sub-forests as plain id ranges without reference
+//! counting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// Index of a node in a [`Dom`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single HTML attribute (`name="value"`). Names are lower-cased by the
+/// tokenizer; values are entity-decoded.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attr {
+    pub name: String,
+    pub value: String,
+}
+
+/// What a node is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The synthetic document root (parent of `<html>`).
+    Document,
+    /// An element; the tag name is lower-cased.
+    Element { tag: String, attrs: Vec<Attr> },
+    /// A text run (entity-decoded, whitespace preserved).
+    Text(String),
+    /// An HTML comment (content without delimiters). Kept so that
+    /// serialization round-trips, ignored by rendering.
+    Comment(String),
+}
+
+/// Node storage: kind plus intrusive tree links.
+#[derive(Clone, Debug)]
+pub struct NodeData {
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub first_child: Option<NodeId>,
+    pub last_child: Option<NodeId>,
+    pub prev_sibling: Option<NodeId>,
+    pub next_sibling: Option<NodeId>,
+}
+
+impl NodeData {
+    fn new(kind: NodeKind) -> Self {
+        NodeData {
+            kind,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            prev_sibling: None,
+            next_sibling: None,
+        }
+    }
+
+    /// Tag name if this is an element.
+    pub fn tag(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Element { tag, .. } => Some(tag.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Attribute value lookup (case-sensitive on the already-lowercased name).
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Element { attrs, .. } => attrs
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.value.as_str()),
+            _ => None,
+        }
+    }
+
+    pub fn is_text(&self) -> bool {
+        matches!(self.kind, NodeKind::Text(_))
+    }
+
+    pub fn is_element(&self) -> bool {
+        matches!(self.kind, NodeKind::Element { .. })
+    }
+}
+
+/// An HTML document as an arena tree.
+#[derive(Clone, Debug, Default)]
+pub struct Dom {
+    nodes: Vec<NodeData>,
+}
+
+impl Index<NodeId> for Dom {
+    type Output = NodeData;
+    #[inline]
+    fn index(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+}
+
+impl Dom {
+    /// Create a DOM containing only the document root.
+    pub fn new() -> Self {
+        Dom {
+            nodes: vec![NodeData::new(NodeKind::Document)],
+        }
+    }
+
+    /// The synthetic document root.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes in the arena (including the root).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Allocate a detached node.
+    pub fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData::new(kind));
+        id
+    }
+
+    /// Append `child` as the last child of `parent`. `child` must be
+    /// detached (fresh from [`Dom::alloc`]).
+    pub fn append(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert!(self.nodes[child.index()].parent.is_none());
+        let prev = self.nodes[parent.index()].last_child;
+        {
+            let c = &mut self.nodes[child.index()];
+            c.parent = Some(parent);
+            c.prev_sibling = prev;
+        }
+        if let Some(prev) = prev {
+            self.nodes[prev.index()].next_sibling = Some(child);
+        } else {
+            self.nodes[parent.index()].first_child = Some(child);
+        }
+        self.nodes[parent.index()].last_child = Some(child);
+    }
+
+    /// Iterator over the children of `id`, in document order.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children {
+            dom: self,
+            next: self[id].first_child,
+        }
+    }
+
+    /// Preorder traversal of the subtree rooted at `id` (inclusive).
+    pub fn preorder(&self, id: NodeId) -> Preorder<'_> {
+        Preorder {
+            dom: self,
+            next: Some(id),
+            root: id,
+        }
+    }
+
+    /// All text content under `id`, concatenated in visual (preorder) order.
+    pub fn text_of(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.preorder(id) {
+            if let NodeKind::Text(t) = &self[n].kind {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Number of element+text nodes in the subtree rooted at `id`.
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.preorder(id)
+            .filter(|&n| self[n].is_element() || self[n].is_text())
+            .count()
+    }
+
+    /// Depth of `id` (root is 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self[cur].parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// The chain of ancestors of `id` from the root down to `id` itself.
+    pub fn ancestry(&self, id: NodeId) -> Vec<NodeId> {
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(p) = self[cur].parent {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let ca = self.ancestry(a);
+        let cb = self.ancestry(b);
+        let mut last = self.root();
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            if x == y {
+                last = *x;
+            } else {
+                break;
+            }
+        }
+        last
+    }
+
+    /// True if `anc` is an ancestor of `id` (or equal to it).
+    pub fn is_ancestor(&self, anc: NodeId, id: NodeId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self[c].parent;
+        }
+        false
+    }
+
+    /// First element with the given tag in preorder, if any.
+    pub fn find_tag(&self, tag: &str) -> Option<NodeId> {
+        self.preorder(self.root())
+            .find(|&n| self[n].tag() == Some(tag))
+    }
+}
+
+/// Crate-private mutable access to the node arena, used by the tree
+/// builder to merge adjacent text nodes.
+pub(crate) fn dom_nodes_mut(dom: &mut Dom) -> &mut Vec<NodeData> {
+    &mut dom.nodes
+}
+
+/// Iterator over the children of a node.
+pub struct Children<'a> {
+    dom: &'a Dom,
+    next: Option<NodeId>,
+}
+
+impl<'a> Iterator for Children<'a> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.dom[cur].next_sibling;
+        Some(cur)
+    }
+}
+
+/// Preorder (document-order) iterator over a subtree.
+pub struct Preorder<'a> {
+    dom: &'a Dom,
+    next: Option<NodeId>,
+    root: NodeId,
+}
+
+impl<'a> Iterator for Preorder<'a> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        // Compute successor: first child, else next sibling walking up, but
+        // never escaping the traversal root.
+        let d = self.dom;
+        self.next = if let Some(c) = d[cur].first_child {
+            Some(c)
+        } else {
+            let mut n = cur;
+            loop {
+                if n == self.root {
+                    break None;
+                }
+                if let Some(s) = d[n].next_sibling {
+                    break Some(s);
+                }
+                match d[n].parent {
+                    Some(p) => n = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Dom, NodeId, NodeId, NodeId) {
+        let mut d = Dom::new();
+        let a = d.alloc(NodeKind::Element {
+            tag: "div".into(),
+            attrs: vec![],
+        });
+        let b = d.alloc(NodeKind::Text("x".into()));
+        let c = d.alloc(NodeKind::Element {
+            tag: "span".into(),
+            attrs: vec![],
+        });
+        let root = d.root();
+        d.append(root, a);
+        d.append(a, b);
+        d.append(a, c);
+        (d, a, b, c)
+    }
+
+    #[test]
+    fn append_links_siblings() {
+        let (d, a, b, c) = tiny();
+        assert_eq!(d[a].first_child, Some(b));
+        assert_eq!(d[a].last_child, Some(c));
+        assert_eq!(d[b].next_sibling, Some(c));
+        assert_eq!(d[c].prev_sibling, Some(b));
+        assert_eq!(d[b].parent, Some(a));
+    }
+
+    #[test]
+    fn children_in_order() {
+        let (d, a, b, c) = tiny();
+        let kids: Vec<_> = d.children(a).collect();
+        assert_eq!(kids, vec![b, c]);
+    }
+
+    #[test]
+    fn preorder_visits_whole_subtree_once() {
+        let (d, a, b, c) = tiny();
+        let order: Vec<_> = d.preorder(d.root()).collect();
+        assert_eq!(order, vec![d.root(), a, b, c]);
+        // Subtree-bounded traversal must not escape its root.
+        let order: Vec<_> = d.preorder(a).collect();
+        assert_eq!(order, vec![a, b, c]);
+    }
+
+    #[test]
+    fn text_of_concatenates_in_order() {
+        let mut d = Dom::new();
+        let p = d.alloc(NodeKind::Element {
+            tag: "p".into(),
+            attrs: vec![],
+        });
+        let t1 = d.alloc(NodeKind::Text("a".into()));
+        let b = d.alloc(NodeKind::Element {
+            tag: "b".into(),
+            attrs: vec![],
+        });
+        let t2 = d.alloc(NodeKind::Text("b".into()));
+        let t3 = d.alloc(NodeKind::Text("c".into()));
+        let root = d.root();
+        d.append(root, p);
+        d.append(p, t1);
+        d.append(p, b);
+        d.append(b, t2);
+        d.append(p, t3);
+        assert_eq!(d.text_of(p), "abc");
+    }
+
+    #[test]
+    fn lca_and_ancestry() {
+        let (d, a, b, c) = tiny();
+        assert_eq!(d.lca(b, c), a);
+        assert_eq!(d.lca(a, b), a);
+        assert!(d.is_ancestor(a, c));
+        assert!(!d.is_ancestor(b, c));
+        assert_eq!(d.ancestry(c), vec![d.root(), a, c]);
+    }
+
+    #[test]
+    fn depth_counts_edges_to_root() {
+        let (d, a, b, _c) = tiny();
+        assert_eq!(d.depth(d.root()), 0);
+        assert_eq!(d.depth(a), 1);
+        assert_eq!(d.depth(b), 2);
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let mut d = Dom::new();
+        let a = d.alloc(NodeKind::Element {
+            tag: "a".into(),
+            attrs: vec![Attr {
+                name: "href".into(),
+                value: "http://x".into(),
+            }],
+        });
+        let root = d.root();
+        d.append(root, a);
+        assert_eq!(d[a].attr("href"), Some("http://x"));
+        assert_eq!(d[a].attr("id"), None);
+    }
+}

@@ -1,0 +1,466 @@
+//! Pragmatic tag-soup tree builder.
+//!
+//! Mirrors the parts of browser parsing that matter for the paper's tag
+//! paths (its Figure 2 and §4.1 example): implied `<html>/<head>/<body>`,
+//! implied `<tbody>` under `<table>` (the paper's example path contains
+//! `{TABLE}C{TBODY}` even though 2006 HTML rarely wrote `<tbody>`),
+//! auto-closing of `p`/`li`/`dt`/`dd`/`tr`/`td`/`th`/`option`, void
+//! elements, and recovery from unmatched end tags.
+
+use crate::node::{Dom, NodeId, NodeKind};
+use crate::tokenizer::{tokenize, Token};
+
+/// Elements that never have children.
+pub fn is_void(tag: &str) -> bool {
+    matches!(
+        tag,
+        "br" | "hr"
+            | "img"
+            | "input"
+            | "meta"
+            | "link"
+            | "base"
+            | "area"
+            | "col"
+            | "param"
+            | "embed"
+            | "wbr"
+            | "spacer"
+    )
+}
+
+/// Elements that belong in `<head>`.
+fn is_head_only(tag: &str) -> bool {
+    matches!(tag, "title" | "meta" | "link" | "base")
+}
+
+/// Tags that an incoming start tag implicitly closes (popped from the open
+/// stack before insertion). The pop stops at the first non-member, so nested
+/// tables are safe: an inner `<tr>` never closes an outer `<td>`.
+fn closes(incoming: &str) -> &'static [&'static str] {
+    match incoming {
+        "p" => &["p"],
+        "li" => &["li", "p"],
+        "dt" | "dd" => &["dt", "dd", "p"],
+        "tr" => &["tr", "td", "th"],
+        "td" | "th" => &["td", "th"],
+        "option" => &["option"],
+        "optgroup" => &["option", "optgroup"],
+        "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => &["p"],
+        "table" | "div" | "ul" | "ol" | "dl" | "blockquote" | "pre" | "form" => &["p"],
+        "thead" | "tbody" | "tfoot" => &["tr", "td", "th", "thead", "tbody", "tfoot"],
+        _ => &[],
+    }
+}
+
+/// Parse an HTML document into a [`Dom`].
+pub fn parse(input: &str) -> Dom {
+    let tokens = tokenize(input);
+    let mut b = Builder::new();
+    for tok in tokens {
+        match tok {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => b.start_tag(&name, attrs, self_closing),
+            Token::EndTag { name } => b.end_tag(&name),
+            Token::Text(t) => b.text(t),
+            Token::Comment(c) => b.comment(c),
+            Token::Doctype(_) => {}
+        }
+    }
+    b.finish()
+}
+
+struct Builder {
+    dom: Dom,
+    /// Open-element stack; `stack[0]` is the document root.
+    stack: Vec<NodeId>,
+    html: Option<NodeId>,
+    head: Option<NodeId>,
+    body: Option<NodeId>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        let dom = Dom::new();
+        let root = dom.root();
+        Builder {
+            dom,
+            stack: vec![root],
+            html: None,
+            head: None,
+            body: None,
+        }
+    }
+
+    fn top_tag(&self) -> Option<&str> {
+        let &top = self.stack.last()?;
+        self.dom[top].tag()
+    }
+
+    fn ensure_html(&mut self) -> NodeId {
+        if let Some(h) = self.html {
+            return h;
+        }
+        let h = self.dom.alloc(NodeKind::Element {
+            tag: "html".into(),
+            attrs: vec![],
+        });
+        let root = self.dom.root();
+        self.dom.append(root, h);
+        self.html = Some(h);
+        h
+    }
+
+    fn ensure_head(&mut self) -> NodeId {
+        if let Some(h) = self.head {
+            return h;
+        }
+        let html = self.ensure_html();
+        let h = self.dom.alloc(NodeKind::Element {
+            tag: "head".into(),
+            attrs: vec![],
+        });
+        self.dom.append(html, h);
+        self.head = Some(h);
+        h
+    }
+
+    fn ensure_body(&mut self) -> NodeId {
+        if let Some(b) = self.body {
+            return b;
+        }
+        // <head> must precede <body> so that paths look like the paper's
+        // "{HTML}C{HEAD}S{BODY}".
+        self.ensure_head();
+        let html = self.ensure_html();
+        let b = self.dom.alloc(NodeKind::Element {
+            tag: "body".into(),
+            attrs: vec![],
+        });
+        self.dom.append(html, b);
+        self.body = Some(b);
+        // Content insertion happens inside <body> from now on.
+        self.stack = vec![self.dom.root(), html, b];
+        b
+    }
+
+    /// True while we have not yet opened `<body>` content.
+    fn in_document_top(&self) -> bool {
+        self.body.is_none()
+    }
+
+    fn insertion_parent(&mut self) -> NodeId {
+        if self.stack.len() == 1 {
+            // Nothing open below the root: ensure body and use it.
+            self.ensure_body()
+        } else {
+            *self.stack.last().unwrap()
+        }
+    }
+
+    fn start_tag(&mut self, name: &str, attrs: Vec<crate::node::Attr>, self_closing: bool) {
+        match name {
+            "html" => {
+                if self.html.is_none() {
+                    let h = self.dom.alloc(NodeKind::Element {
+                        tag: "html".into(),
+                        attrs,
+                    });
+                    let root = self.dom.root();
+                    self.dom.append(root, h);
+                    self.html = Some(h);
+                }
+                return;
+            }
+            "head" => {
+                self.ensure_head();
+                return;
+            }
+            "body" => {
+                if self.body.is_none() {
+                    self.ensure_head();
+                    let html = self.ensure_html();
+                    let b = self.dom.alloc(NodeKind::Element {
+                        tag: "body".into(),
+                        attrs,
+                    });
+                    self.dom.append(html, b);
+                    self.body = Some(b);
+                    self.stack = vec![self.dom.root(), html, b];
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        if self.in_document_top() && is_head_only(name) {
+            let head = self.ensure_head();
+            let el = self.dom.alloc(NodeKind::Element {
+                tag: name.into(),
+                attrs,
+            });
+            self.dom.append(head, el);
+            return;
+        }
+        if self.in_document_top() && matches!(name, "script" | "style") {
+            // Head-position script/style: attach under head, content was
+            // already dropped by the tokenizer.
+            let head = self.ensure_head();
+            let el = self.dom.alloc(NodeKind::Element {
+                tag: name.into(),
+                attrs,
+            });
+            self.dom.append(head, el);
+            return;
+        }
+
+        self.ensure_body();
+
+        // Implicit closes.
+        let close_set = closes(name);
+        while let Some(top) = self.top_tag() {
+            if close_set.contains(&top) {
+                self.stack.pop();
+            } else {
+                break;
+            }
+        }
+
+        // Table fix-ups mirroring browser DOMs.
+        if name == "tr" {
+            if self.top_tag() == Some("table") {
+                self.push_element("tbody", vec![]);
+            }
+        } else if matches!(name, "td" | "th") {
+            if self.top_tag() == Some("table") {
+                self.push_element("tbody", vec![]);
+            }
+            if matches!(
+                self.top_tag(),
+                Some("tbody") | Some("thead") | Some("tfoot")
+            ) {
+                self.push_element("tr", vec![]);
+            }
+        } else if matches!(name, "thead" | "tbody" | "tfoot") {
+            // fine as-is
+        }
+
+        let parent = self.insertion_parent();
+        let el = self.dom.alloc(NodeKind::Element {
+            tag: name.into(),
+            attrs,
+        });
+        self.dom.append(parent, el);
+        if !is_void(name) && !self_closing {
+            self.stack.push(el);
+        }
+    }
+
+    fn push_element(&mut self, tag: &str, attrs: Vec<crate::node::Attr>) {
+        let parent = self.insertion_parent();
+        let el = self.dom.alloc(NodeKind::Element {
+            tag: tag.into(),
+            attrs,
+        });
+        self.dom.append(parent, el);
+        self.stack.push(el);
+    }
+
+    fn end_tag(&mut self, name: &str) {
+        if is_void(name) {
+            return;
+        }
+        if matches!(name, "html" | "body" | "head") {
+            return; // handled implicitly at finish
+        }
+        // Find the nearest matching open element (never pop the first three
+        // stack slots: root/html/body).
+        let floor = if self.body.is_some() { 3 } else { 1 };
+        let pos = self.stack[floor.min(self.stack.len())..]
+            .iter()
+            .rposition(|&id| self.dom[id].tag() == Some(name));
+        if let Some(rel) = pos {
+            let abs = floor.min(self.stack.len()) + rel;
+            self.stack.truncate(abs);
+        }
+        // Unmatched end tag: ignored (browser recovery).
+    }
+
+    fn text(&mut self, t: String) {
+        if self.in_document_top() && t.trim().is_empty() {
+            return; // inter-element whitespace before <body>
+        }
+        self.ensure_body();
+        let parent = self.insertion_parent();
+        // Merge adjacent text nodes so that one visual run is one leaf.
+        if let Some(last) = self.dom[parent].last_child {
+            if let NodeKind::Text(_) = self.dom[last].kind {
+                // We need mutable access; re-borrow through a small dance.
+                if let NodeKind::Text(prev) = &self.dom_mut_kind(last) {
+                    let merged = format!("{prev}{t}");
+                    self.set_text(last, merged);
+                    return;
+                }
+            }
+        }
+        let node = self.dom.alloc(NodeKind::Text(t));
+        self.dom.append(parent, node);
+    }
+
+    fn dom_mut_kind(&self, id: NodeId) -> NodeKind {
+        self.dom[id].kind.clone()
+    }
+
+    fn set_text(&mut self, id: NodeId, t: String) {
+        // Arena nodes are only reachable through &mut self here.
+        let data = &mut self.dom_nodes_mut()[id.index()];
+        data.kind = NodeKind::Text(t);
+    }
+
+    fn dom_nodes_mut(&mut self) -> &mut Vec<crate::node::NodeData> {
+        // Safety hatch: Dom exposes no public mutable node access; the
+        // builder owns the Dom so a private accessor is fine.
+        crate::node::dom_nodes_mut(&mut self.dom)
+    }
+
+    fn comment(&mut self, c: String) {
+        if self.in_document_top() {
+            return; // comments before <body> carry no layout information
+        }
+        let parent = self.insertion_parent();
+        let node = self.dom.alloc(NodeKind::Comment(c));
+        self.dom.append(parent, node);
+    }
+
+    fn finish(mut self) -> Dom {
+        self.ensure_body();
+        self.dom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags_under(dom: &Dom, id: NodeId) -> Vec<String> {
+        dom.children(id)
+            .filter_map(|c| dom[c].tag().map(str::to_string))
+            .collect()
+    }
+
+    fn body(dom: &Dom) -> NodeId {
+        dom.find_tag("body").unwrap()
+    }
+
+    #[test]
+    fn implied_html_head_body() {
+        let dom = parse("hello");
+        let html = dom.find_tag("html").unwrap();
+        assert_eq!(tags_under(&dom, html), vec!["head", "body"]);
+        assert_eq!(dom.text_of(body(&dom)), "hello");
+    }
+
+    #[test]
+    fn head_elements_go_to_head() {
+        let dom = parse("<title>T</title><p>x</p>");
+        let head = dom.find_tag("head").unwrap();
+        assert_eq!(tags_under(&dom, head), vec!["title"]);
+        assert_eq!(tags_under(&dom, body(&dom)), vec!["p"]);
+    }
+
+    #[test]
+    fn p_auto_closes() {
+        let dom = parse("<body><p>a<p>b</body>");
+        assert_eq!(tags_under(&dom, body(&dom)), vec!["p", "p"]);
+    }
+
+    #[test]
+    fn li_auto_closes() {
+        let dom = parse("<ul><li>a<li>b<li>c</ul>");
+        let ul = dom.find_tag("ul").unwrap();
+        assert_eq!(tags_under(&dom, ul), vec!["li", "li", "li"]);
+    }
+
+    #[test]
+    fn implied_tbody_and_tr() {
+        let dom = parse("<table><tr><td>a<td>b<tr><td>c</table>");
+        let table = dom.find_tag("table").unwrap();
+        assert_eq!(tags_under(&dom, table), vec!["tbody"]);
+        let tbody = dom.find_tag("tbody").unwrap();
+        assert_eq!(tags_under(&dom, tbody), vec!["tr", "tr"]);
+        let first_tr = dom.children(tbody).next().unwrap();
+        assert_eq!(tags_under(&dom, first_tr), vec!["td", "td"]);
+    }
+
+    #[test]
+    fn nested_tables_do_not_cross_close() {
+        let dom = parse(
+            "<table><tr><td><table><tr><td>inner</td></tr></table></td><td>outer</td></tr></table>",
+        );
+        let outer = dom.find_tag("table").unwrap();
+        let outer_tbody = dom.children(outer).next().unwrap();
+        let outer_tr = dom.children(outer_tbody).next().unwrap();
+        let tds: Vec<_> = dom.children(outer_tr).collect();
+        assert_eq!(tds.len(), 2);
+        assert_eq!(dom.text_of(tds[0]), "inner");
+        assert_eq!(dom.text_of(tds[1]), "outer");
+    }
+
+    #[test]
+    fn unmatched_end_tags_ignored() {
+        let dom = parse("<body></div><p>x</p></span></body>");
+        assert_eq!(tags_under(&dom, body(&dom)), vec!["p"]);
+        assert_eq!(dom.text_of(body(&dom)), "x");
+    }
+
+    #[test]
+    fn void_elements_have_no_children() {
+        let dom = parse("<body>a<br>b<hr>c</body>");
+        let b = body(&dom);
+        let kinds: Vec<_> = dom
+            .children(b)
+            .map(|c| match &dom[c].kind {
+                NodeKind::Element { tag, .. } => tag.clone(),
+                NodeKind::Text(t) => format!("#{t}"),
+                _ => "?".into(),
+            })
+            .collect();
+        assert_eq!(kinds, vec!["#a", "br", "#b", "hr", "#c"]);
+    }
+
+    #[test]
+    fn adjacent_text_merged() {
+        // The tokenizer merges "1 < 2" style splits; the builder merges
+        // nodes split by dropped markup (comments are kept, so use a stray).
+        let dom = parse("<p>a&amp;b</p>");
+        let p = dom.find_tag("p").unwrap();
+        let kids: Vec<_> = dom.children(p).collect();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(dom.text_of(p), "a&b");
+    }
+
+    #[test]
+    fn font_and_inline_preserved() {
+        let dom = parse("<p><font color=\"red\" size=\"2\"><b>hot</b></font></p>");
+        let font = dom.find_tag("font").unwrap();
+        assert_eq!(dom[font].attr("color"), Some("red"));
+        let b = dom.find_tag("b").unwrap();
+        assert_eq!(dom.text_of(b), "hot");
+    }
+
+    #[test]
+    fn real_world_serp_snippet() {
+        let dom = parse(concat!(
+            "<html><head><title>Results</title></head><body>",
+            "<table width=100%><tr><td><a href=\"/r1\">Result one</a><br>",
+            "snippet one</td></tr><tr><td><a href=\"/r2\">Result two</a><br>",
+            "snippet two</td></tr></table></body></html>"
+        ));
+        let tbody = dom.find_tag("tbody").unwrap();
+        assert_eq!(dom.children(tbody).count(), 2);
+        assert!(dom.text_of(dom.root()).contains("snippet two"));
+    }
+}

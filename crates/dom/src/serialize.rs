@@ -1,0 +1,102 @@
+//! DOM → HTML serialization, used by the test bed (pages are generated as
+//! DOMs and serialized) and for debugging.
+
+use crate::entity::{escape_attr, escape_text};
+use crate::node::{Dom, NodeId, NodeKind};
+use crate::parser::is_void;
+
+/// Serialize the subtree rooted at `id` to HTML.
+pub fn to_html(dom: &Dom, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(dom, id, &mut out);
+    out
+}
+
+/// Serialize the whole document.
+pub fn document_to_html(dom: &Dom) -> String {
+    let mut out = String::new();
+    for child in dom.children(dom.root()) {
+        write_node(dom, child, &mut out);
+    }
+    out
+}
+
+fn write_node(dom: &Dom, id: NodeId, out: &mut String) {
+    match &dom[id].kind {
+        NodeKind::Document => {
+            for child in dom.children(id) {
+                write_node(dom, child, out);
+            }
+        }
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        NodeKind::Element { tag, attrs } => {
+            out.push('<');
+            out.push_str(tag);
+            for a in attrs {
+                out.push(' ');
+                out.push_str(&a.name);
+                if !a.value.is_empty() {
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(&a.value));
+                    out.push('"');
+                }
+            }
+            out.push('>');
+            if is_void(tag) {
+                return;
+            }
+            for child in dom.children(id) {
+                write_node(dom, child, out);
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let src = "<html><head><title>T</title></head><body><p>a &amp; b</p>\
+                   <table><tbody><tr><td>x</td></tr></tbody></table></body></html>";
+        let dom = parse(src);
+        let html = document_to_html(&dom);
+        let dom2 = parse(&html);
+        // Compare text content and tag multiset.
+        assert_eq!(dom.text_of(dom.root()), dom2.text_of(dom2.root()));
+        let tags = |d: &Dom| {
+            let mut v: Vec<String> = d
+                .preorder(d.root())
+                .filter_map(|n| d[n].tag().map(str::to_string))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(tags(&dom), tags(&dom2));
+    }
+
+    #[test]
+    fn void_elements_not_closed() {
+        let dom = parse("<body>a<br>b</body>");
+        let html = document_to_html(&dom);
+        assert!(html.contains("<br>"));
+        assert!(!html.contains("</br>"));
+    }
+
+    #[test]
+    fn attrs_escaped() {
+        let dom = parse(r#"<body><a href="x?a=1&amp;b=2">l</a></body>"#);
+        let html = document_to_html(&dom);
+        assert!(html.contains(r#"href="x?a=1&amp;b=2""#));
+    }
+}

@@ -1,0 +1,541 @@
+//! Tag paths (paper §4.1).
+//!
+//! A *tag path* locates a node by walking from the root: each path node
+//! carries a tag name and a direction — `C` ("the next node on the path is
+//! my first child") or `S` ("the next node is my next sibling"). The
+//! paper's example for the text "Your search returned 578 matches":
+//!
+//! ```text
+//! {HTML}C{HEAD}S{BODY}C{TABLE}S{TABLE}S{TABLE}C{TBODY}C{TR}C{TD}S{TD}S{TD}S{TD}C…
+//! ```
+//!
+//! The *C nodes* are exactly the ancestor chain of the target; the *S
+//! nodes* are the preceding element siblings crossed on the way. A
+//! [`CompactTagPath`] keeps the C-node tags and, per level, the count of S
+//! steps — that is all Formula 1 needs:
+//!
+//! ```text
+//! Dtp(tp1, tp2) = Σ_{i=2..n} |sn(c1_i,c1_{i-1}) − sn(c2_i,c2_{i-1})|
+//!                 ─────────────────────────────────────────────────
+//!                 max(sn(c1_n,c1_1), sn(c2_n,c2_1))
+//! ```
+//!
+//! Two compact paths are *compatible* iff their C-node tag sequences are
+//! equal. Only element siblings count as S steps (text/comment siblings are
+//! not tag nodes).
+
+use crate::node::{Dom, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Step direction in a full tag path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Next path node is this node's first child.
+    C,
+    /// Next path node is this node's next sibling.
+    S,
+}
+
+/// One step of a full tag path.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathNode {
+    pub tag: String,
+    pub dir: Direction,
+}
+
+/// A full tag path (every node visited, with directions).
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TagPath {
+    pub nodes: Vec<PathNode>,
+}
+
+impl fmt::Display for TagPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for pn in &self.nodes {
+            write!(
+                f,
+                "{{{}}}{}",
+                pn.tag.to_uppercase(),
+                match pn.dir {
+                    Direction::C => "C",
+                    Direction::S => "S",
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl TagPath {
+    /// Build the full tag path leading to `target`. For a text node the path
+    /// runs from `<html>` down to the parent element (whose final direction
+    /// C points at the text); for an element it runs down to the element
+    /// itself.
+    pub fn to_node(dom: &Dom, target: NodeId) -> TagPath {
+        // Ancestor chain of elements, excluding the synthetic document root.
+        let mut chain: Vec<NodeId> = dom
+            .ancestry(target)
+            .into_iter()
+            .filter(|&n| dom[n].is_element())
+            .collect();
+        if dom[target].is_element() {
+            // chain already ends at target.
+        } else {
+            // chain ends at the parent element of the text node.
+        }
+        let mut nodes = Vec::new();
+        for (level, &anc) in chain.iter().enumerate() {
+            // Emit preceding element siblings as S nodes.
+            let mut preceding = Vec::new();
+            let mut cur = dom[anc].prev_sibling;
+            while let Some(p) = cur {
+                if dom[p].is_element() {
+                    preceding.push(p);
+                }
+                cur = dom[p].prev_sibling;
+            }
+            preceding.reverse();
+            for sib in preceding {
+                nodes.push(PathNode {
+                    tag: dom[sib].tag().unwrap_or("?").to_string(),
+                    dir: Direction::S,
+                });
+            }
+            let _ = level;
+            nodes.push(PathNode {
+                tag: dom[anc].tag().unwrap_or("?").to_string(),
+                dir: Direction::C,
+            });
+        }
+        // Make borrow checker here happy about unused mut when chain empty.
+        chain.clear();
+        TagPath { nodes }
+    }
+
+    /// Collapse to a compact tag path.
+    pub fn compact(&self) -> CompactTagPath {
+        let mut steps = Vec::new();
+        let mut s_run = 0usize;
+        for pn in &self.nodes {
+            match pn.dir {
+                Direction::S => s_run += 1,
+                Direction::C => {
+                    steps.push(CompactStep {
+                        tag: pn.tag.clone(),
+                        s_before: s_run,
+                    });
+                    s_run = 0;
+                }
+            }
+        }
+        CompactTagPath { steps }
+    }
+}
+
+/// One level of a compact tag path: the C-node tag plus the number of S
+/// steps (preceding element siblings) crossed to reach it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CompactStep {
+    pub tag: String,
+    pub s_before: usize,
+}
+
+/// A compact tag path: the ancestor-chain tags with S-step counts.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct CompactTagPath {
+    pub steps: Vec<CompactStep>,
+}
+
+impl fmt::Display for CompactTagPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{}[{}]", s.tag, s.s_before)?;
+        }
+        Ok(())
+    }
+}
+
+impl CompactTagPath {
+    /// Build directly for a node (equivalent to `TagPath::to_node(..).compact()`
+    /// but without materializing S nodes).
+    pub fn to_node(dom: &Dom, target: NodeId) -> CompactTagPath {
+        let chain: Vec<NodeId> = dom
+            .ancestry(target)
+            .into_iter()
+            .filter(|&n| dom[n].is_element())
+            .collect();
+        let steps = chain
+            .iter()
+            .map(|&anc| {
+                let mut s_before = 0;
+                let mut cur = dom[anc].prev_sibling;
+                while let Some(p) = cur {
+                    if dom[p].is_element() {
+                        s_before += 1;
+                    }
+                    cur = dom[p].prev_sibling;
+                }
+                CompactStep {
+                    tag: dom[anc].tag().unwrap_or("?").to_string(),
+                    s_before,
+                }
+            })
+            .collect();
+        CompactTagPath { steps }
+    }
+
+    /// Number of levels (C nodes).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Paper §4.1: compatible iff the C-node tag sequences are identical.
+    pub fn compatible(&self, other: &CompactTagPath) -> bool {
+        self.steps.len() == other.steps.len()
+            && self
+                .steps
+                .iter()
+                .zip(&other.steps)
+                .all(|(a, b)| a.tag == b.tag)
+    }
+
+    /// Total number of S nodes along the path — `sn(c_n, c_1)` in Formula 1.
+    pub fn total_s(&self) -> usize {
+        // The S steps before the first C node are not between C nodes, so
+        // Formula 1's sum starts at i=2; mirror that here.
+        self.steps.iter().skip(1).map(|s| s.s_before).sum()
+    }
+
+    /// Tag-path distance `Dtp` (paper Formula 1). Caller must ensure the
+    /// paths are [`compatible`](Self::compatible); incompatible paths get
+    /// distance `f64::INFINITY`.
+    pub fn dtp(&self, other: &CompactTagPath) -> f64 {
+        if !self.compatible(other) {
+            return f64::INFINITY;
+        }
+        let num: usize = self
+            .steps
+            .iter()
+            .zip(&other.steps)
+            .skip(1)
+            .map(|(a, b)| a.s_before.abs_diff(b.s_before))
+            .sum();
+        let den = self.total_s().max(other.total_s());
+        if den == 0 {
+            // Identical S structure with no siblings at all: distance 0.
+            return if num == 0 { 0.0 } else { num as f64 };
+        }
+        num as f64 / den as f64
+    }
+
+    /// Resolve this compact path against a DOM: returns the node reached by
+    /// walking the exact tag / sibling-count steps, if present.
+    pub fn resolve(&self, dom: &Dom) -> Option<NodeId> {
+        let mut cur = dom.root();
+        for step in &self.steps {
+            let mut seen = 0usize;
+            let mut found = None;
+            for child in dom.children(cur) {
+                if !dom[child].is_element() {
+                    continue;
+                }
+                if seen == step.s_before {
+                    if dom[child].tag() == Some(step.tag.as_str()) {
+                        found = Some(child);
+                    }
+                    break;
+                }
+                seen += 1;
+            }
+            cur = found?;
+        }
+        Some(cur)
+    }
+}
+
+/// A merged (generalized) compact tag path used in wrappers: per level the
+/// tag plus the observed `[min, max]` range of S-step counts across section
+/// instances (paper §5.7, "merging the compact tag paths").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergedTagPath {
+    pub steps: Vec<MergedStep>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergedStep {
+    pub tag: String,
+    pub min_s: usize,
+    pub max_s: usize,
+}
+
+impl fmt::Display for MergedTagPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            if s.min_s == s.max_s {
+                write!(f, "{}[{}]", s.tag, s.min_s)?;
+            } else {
+                write!(f, "{}[{}-{}]", s.tag, s.min_s, s.max_s)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl MergedTagPath {
+    /// Merge a set of mutually compatible compact paths. Returns `None` if
+    /// the set is empty or the paths are not compatible.
+    pub fn merge(paths: &[CompactTagPath]) -> Option<MergedTagPath> {
+        let first = paths.first()?;
+        if !paths.iter().all(|p| p.compatible(first)) {
+            return None;
+        }
+        let steps = (0..first.len())
+            .map(|i| {
+                let counts = paths.iter().map(|p| p.steps[i].s_before);
+                let min_s = counts.clone().min().unwrap();
+                let max_s = counts.max().unwrap();
+                MergedStep {
+                    tag: first.steps[i].tag.clone(),
+                    min_s,
+                    max_s,
+                }
+            })
+            .collect();
+        Some(MergedTagPath { steps })
+    }
+
+    /// True if `path` (a concrete compact path) is an instance of this
+    /// merged path: same tags, S counts within a slack-widened range.
+    pub fn matches(&self, path: &CompactTagPath, slack: usize) -> bool {
+        self.steps.len() == path.steps.len()
+            && self.steps.iter().zip(&path.steps).all(|(m, c)| {
+                m.tag == c.tag && c.s_before + slack >= m.min_s && c.s_before <= m.max_s + slack
+            })
+    }
+
+    /// Find all nodes in `dom` whose compact path matches this merged path
+    /// (with the given sibling-count slack), in document order.
+    pub fn resolve_all(&self, dom: &Dom, slack: usize) -> Vec<NodeId> {
+        let mut frontier = vec![dom.root()];
+        for step in &self.steps {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                let mut seen = 0usize;
+                for child in dom.children(node) {
+                    if !dom[child].is_element() {
+                        continue;
+                    }
+                    if dom[child].tag() == Some(step.tag.as_str())
+                        && seen + slack >= step.min_s
+                        && seen <= step.max_s + slack
+                    {
+                        next.push(child);
+                    }
+                    seen += 1;
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        frontier
+    }
+
+    /// Longest common prefix length with another merged path (tags only).
+    pub fn common_prefix_len(&self, other: &MergedTagPath) -> usize {
+        self.steps
+            .iter()
+            .zip(&other.steps)
+            .take_while(|(a, b)| a.tag == b.tag)
+            .count()
+    }
+
+    /// Longest common suffix length with another merged path (tags only).
+    pub fn common_suffix_len(&self, other: &MergedTagPath) -> usize {
+        self.steps
+            .iter()
+            .rev()
+            .zip(other.steps.iter().rev())
+            .take_while(|(a, b)| a.tag == b.tag)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn path_to_text(dom: &Dom, needle: &str) -> CompactTagPath {
+        let node = dom
+            .preorder(dom.root())
+            .find(|&n| matches!(&dom[n].kind, crate::NodeKind::Text(t) if t.contains(needle)))
+            .unwrap();
+        CompactTagPath::to_node(dom, node)
+    }
+
+    #[test]
+    fn paper_style_path() {
+        let dom = parse(
+            "<html><head></head><body><table></table><table></table>\
+             <table><tr><td>x</td><td>y</td><td>z</td><td>target</td></tr></table></body></html>",
+        );
+        let node = dom
+            .preorder(dom.root())
+            .find(|&n| matches!(&dom[n].kind, crate::NodeKind::Text(t) if t == "target"))
+            .unwrap();
+        let full = TagPath::to_node(&dom, node);
+        let s = full.to_string();
+        // HTML C, HEAD S, BODY C, TABLE S TABLE S TABLE C, TBODY C, TR C,
+        // TD S TD S TD S TD C
+        assert_eq!(
+            s,
+            "{HTML}C{HEAD}S{BODY}C{TABLE}S{TABLE}S{TABLE}C{TBODY}C{TR}C{TD}S{TD}S{TD}S{TD}C"
+        );
+        let compact = full.compact();
+        let tags: Vec<_> = compact.steps.iter().map(|st| st.tag.as_str()).collect();
+        assert_eq!(tags, vec!["html", "body", "table", "tbody", "tr", "td"]);
+        let counts: Vec<_> = compact.steps.iter().map(|st| st.s_before).collect();
+        assert_eq!(counts, vec![0, 1, 2, 0, 0, 3]);
+    }
+
+    #[test]
+    fn compact_direct_equals_via_full() {
+        let dom = parse("<body><div><p>a</p><p>b</p><p>c</p></div></body>");
+        for n in dom.preorder(dom.root()).collect::<Vec<_>>() {
+            if dom[n].is_text() {
+                let via_full = TagPath::to_node(&dom, n).compact();
+                let direct = CompactTagPath::to_node(&dom, n);
+                assert_eq!(via_full, direct);
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_same_tags_different_counts() {
+        let dom1 = parse("<body><div><p>a</p></div></body>");
+        let dom2 = parse("<body><span>s</span><div><p>a</p></div></body>");
+        let p1 = path_to_text(&dom1, "a");
+        let p2 = path_to_text(&dom2, "a");
+        assert!(p1.compatible(&p2));
+        assert!(p1.dtp(&p2).is_finite());
+    }
+
+    #[test]
+    fn incompatible_paths_infinite_distance() {
+        let dom1 = parse("<body><div><p>a</p></div></body>");
+        let dom2 = parse("<body><table><tr><td>a</td></tr></table></body>");
+        let p1 = path_to_text(&dom1, "a");
+        let p2 = path_to_text(&dom2, "a");
+        assert!(!p1.compatible(&p2));
+        assert!(p1.dtp(&p2).is_infinite());
+    }
+
+    #[test]
+    fn dtp_zero_for_identical() {
+        let dom = parse("<body><ul><li>a</li><li>b</li></ul></body>");
+        let p = path_to_text(&dom, "a");
+        assert_eq!(p.dtp(&p), 0.0);
+    }
+
+    #[test]
+    fn dtp_formula_values() {
+        // Two paths body/div with div at sibling index 0 vs 2.
+        let dom1 = parse("<body><div>a</div></body>");
+        let dom2 = parse("<body><p>x</p><p>y</p><div>a</div></body>");
+        let p1 = path_to_text(&dom1, "a");
+        let p2 = path_to_text(&dom2, "a");
+        // Path levels: html[0]/body[1]/div[s] (body has the implied <head>
+        // as preceding sibling). num = |1-1| + |0-2| = 2,
+        // den = max(1+0, 1+2) = 3 → 2/3.
+        assert!((p1.dtp(&p2) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolve_round_trip() {
+        let dom = parse(
+            "<body><div><p>a</p></div><div><p>b</p><p>c</p></div><table><tr><td>d</td></tr></table></body>",
+        );
+        for n in dom.preorder(dom.root()).collect::<Vec<_>>() {
+            if dom[n].is_element() {
+                let p = CompactTagPath::to_node(&dom, n);
+                assert_eq!(p.resolve(&dom), Some(n), "path {p} failed to round-trip");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_path_ranges_and_matching() {
+        let dom1 = parse("<body><div>a</div></body>");
+        let dom2 = parse("<body><p>x</p><div>a</div></body>");
+        let p1 = path_to_text(&dom1, "a");
+        let p2 = path_to_text(&dom2, "a");
+        let merged = MergedTagPath::merge(&[p1.clone(), p2.clone()]).unwrap();
+        assert!(merged.matches(&p1, 0));
+        assert!(merged.matches(&p2, 0));
+        // A path with 3 preceding siblings is outside the [0,1] range…
+        let dom3 = parse("<body><p>x</p><p>y</p><p>z</p><div>a</div></body>");
+        let p3 = path_to_text(&dom3, "a");
+        assert!(!merged.matches(&p3, 0));
+        // …but within slack 2.
+        assert!(merged.matches(&p3, 2));
+    }
+
+    #[test]
+    fn resolve_all_finds_every_match() {
+        let dom = parse("<body><div><p>a</p></div><div><p>b</p></div></body>");
+        // Merge the two div paths → div[0-1]; resolve_all should find both.
+        let divs: Vec<_> = dom
+            .preorder(dom.root())
+            .filter(|&n| dom[n].tag() == Some("div"))
+            .collect();
+        let paths: Vec<_> = divs
+            .iter()
+            .map(|&d| CompactTagPath::to_node(&dom, d))
+            .collect();
+        let merged = MergedTagPath::merge(&paths).unwrap();
+        assert_eq!(merged.resolve_all(&dom, 0), divs);
+    }
+
+    #[test]
+    fn merge_rejects_incompatible() {
+        let dom1 = parse("<body><div>a</div></body>");
+        let dom2 = parse("<body><span>a</span></body>");
+        let p1 = path_to_text(&dom1, "a");
+        let p2 = path_to_text(&dom2, "a");
+        assert!(MergedTagPath::merge(&[p1, p2]).is_none());
+        assert!(MergedTagPath::merge(&[]).is_none());
+    }
+
+    #[test]
+    fn common_prefix_suffix() {
+        let mk = |steps: &[(&str, usize)]| MergedTagPath {
+            steps: steps
+                .iter()
+                .map(|&(t, s)| MergedStep {
+                    tag: t.into(),
+                    min_s: s,
+                    max_s: s,
+                })
+                .collect(),
+        };
+        let a = mk(&[("html", 0), ("body", 1), ("table", 0), ("tr", 2), ("td", 0)]);
+        let b = mk(&[("html", 0), ("body", 1), ("table", 0), ("tr", 4), ("td", 0)]);
+        assert_eq!(a.common_prefix_len(&b), 5); // tags all equal
+        let c = mk(&[("html", 0), ("body", 1), ("div", 0), ("tr", 4), ("td", 0)]);
+        assert_eq!(a.common_prefix_len(&c), 2);
+        assert_eq!(a.common_suffix_len(&c), 2);
+    }
+}

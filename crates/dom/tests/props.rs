@@ -1,0 +1,110 @@
+//! Property tests: the parser and tag paths must be total and internally
+//! consistent on arbitrary inputs — result pages in the wild are tag soup.
+
+use mse_dom::{parse, serialize, CompactTagPath, NodeKind};
+use proptest::prelude::*;
+
+/// Fragments to splice into random documents — tags, attributes, entities,
+/// and junk.
+fn html_fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("<div>".to_string()),
+        Just("</div>".to_string()),
+        Just("<p>".to_string()),
+        Just("</p>".to_string()),
+        Just("<table><tr><td>".to_string()),
+        Just("</td></tr></table>".to_string()),
+        Just("<a href=\"/x\">".to_string()),
+        Just("</a>".to_string()),
+        Just("<br>".to_string()),
+        Just("<hr/>".to_string()),
+        Just("<img src=x>".to_string()),
+        Just("<!-- c -->".to_string()),
+        Just("<b><i>".to_string()),
+        Just("&amp;&lt;&#65;&bogus;".to_string()),
+        Just("< not a tag".to_string()),
+        Just("<li>item".to_string()),
+        Just("<font size=\"+1\" color=red>".to_string()),
+        "[a-z ]{0,12}",
+    ]
+}
+
+fn html_doc() -> impl Strategy<Value = String> {
+    proptest::collection::vec(html_fragment(), 0..24).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Parsing never panics and always yields the scaffolding.
+    #[test]
+    fn parse_is_total(doc in html_doc()) {
+        let dom = parse(&doc);
+        prop_assert!(dom.find_tag("html").is_some());
+        prop_assert!(dom.find_tag("body").is_some());
+    }
+
+    /// Serialize → reparse preserves the visible text content.
+    #[test]
+    fn text_survives_round_trip(doc in html_doc()) {
+        let dom = parse(&doc);
+        let text1 = dom.text_of(dom.root());
+        let dom2 = parse(&serialize::document_to_html(&dom));
+        let text2 = dom2.text_of(dom2.root());
+        prop_assert_eq!(text1, text2);
+    }
+
+    /// Every element's compact tag path resolves back to that element.
+    #[test]
+    fn compact_paths_resolve(doc in html_doc()) {
+        let dom = parse(&doc);
+        for n in dom.preorder(dom.root()).collect::<Vec<_>>() {
+            if dom[n].is_element() {
+                let p = CompactTagPath::to_node(&dom, n);
+                prop_assert_eq!(p.resolve(&dom), Some(n));
+            }
+        }
+    }
+
+    /// Tree structure invariants: children's parent pointers agree, sibling
+    /// links are symmetric, preorder visits every node exactly once.
+    #[test]
+    fn tree_links_consistent(doc in html_doc()) {
+        let dom = parse(&doc);
+        let all: Vec<_> = dom.preorder(dom.root()).collect();
+        let mut seen = std::collections::HashSet::new();
+        for &n in &all {
+            prop_assert!(seen.insert(n), "node visited twice");
+            let kids: Vec<_> = dom.children(n).collect();
+            for (i, &c) in kids.iter().enumerate() {
+                prop_assert_eq!(dom[c].parent, Some(n));
+                if i > 0 {
+                    prop_assert_eq!(dom[c].prev_sibling, Some(kids[i - 1]));
+                    prop_assert_eq!(dom[kids[i - 1]].next_sibling, Some(c));
+                }
+            }
+        }
+    }
+
+    /// Dtp is symmetric and zero on identical paths.
+    #[test]
+    fn dtp_symmetric(doc in html_doc()) {
+        let dom = parse(&doc);
+        let paths: Vec<CompactTagPath> = dom
+            .preorder(dom.root())
+            .filter(|&n| matches!(&dom[n].kind, NodeKind::Text(t) if !t.trim().is_empty()))
+            .map(|n| CompactTagPath::to_node(&dom, n))
+            .take(6)
+            .collect();
+        for a in &paths {
+            prop_assert_eq!(a.dtp(a), 0.0);
+            for b in &paths {
+                let d1 = a.dtp(b);
+                let d2 = b.dtp(a);
+                if d1.is_finite() || d2.is_finite() {
+                    prop_assert!((d1 - d2).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # mse-eval
+//!
+//! Scoring harness reproducing the paper's §6 evaluation protocol:
+//!
+//! * per engine: build wrappers from the 5 *sample* pages, extract from all
+//!   10 pages, score sample and test splits separately;
+//! * a ground-truth section is **perfectly extracted** when the matched
+//!   extracted section contains exactly its records (all extracted, none
+//!   incorrect), and **partially correct** when more than 60% of its
+//!   records are extracted;
+//! * recall = correct sections / actual sections, precision = correct
+//!   sections / extracted sections (and likewise at the record level,
+//!   Table 3, computed inside perfectly + partially extracted sections).
+//!
+//! Records are compared by their exact content-line text sequences — the
+//! test bed embeds unique ids in every record title so the comparison is
+//! unambiguous (see `mse-testbed`).
+
+pub mod metrics;
+pub mod runner;
+pub mod tables;
+
+pub use metrics::{score_page, PageScore, RecordCounts, SectionCounts};
+pub use runner::{run_corpus, score_engine, CorpusScore, EngineOutcome, EngineScore};
+pub use tables::{record_table, section_table, SectionRow};

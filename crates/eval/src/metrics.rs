@@ -1,0 +1,281 @@
+//! Page-level scoring: match extracted sections to ground truth and count
+//! perfect / partially-correct sections and correct records.
+
+use mse_core::Extraction;
+use mse_testbed::GroundTruth;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Section-level counts (one page or aggregated).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SectionCounts {
+    pub actual: usize,
+    pub extracted: usize,
+    pub perfect: usize,
+    pub partial: usize,
+}
+
+impl SectionCounts {
+    pub fn add(&mut self, o: &SectionCounts) {
+        self.actual += o.actual;
+        self.extracted += o.extracted;
+        self.perfect += o.perfect;
+        self.partial += o.partial;
+    }
+
+    pub fn recall_perfect(&self) -> f64 {
+        ratio(self.perfect, self.actual)
+    }
+    pub fn recall_total(&self) -> f64 {
+        ratio(self.perfect + self.partial, self.actual)
+    }
+    pub fn precision_perfect(&self) -> f64 {
+        ratio(self.perfect, self.extracted)
+    }
+    pub fn precision_total(&self) -> f64 {
+        ratio(self.perfect + self.partial, self.extracted)
+    }
+}
+
+/// Record-level counts inside perfectly + partially extracted sections
+/// (the paper's Table 3 universe).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordCounts {
+    pub actual: usize,
+    pub extracted: usize,
+    pub correct: usize,
+}
+
+impl RecordCounts {
+    pub fn add(&mut self, o: &RecordCounts) {
+        self.actual += o.actual;
+        self.extracted += o.extracted;
+        self.correct += o.correct;
+    }
+
+    pub fn recall(&self) -> f64 {
+        ratio(self.correct, self.actual)
+    }
+    pub fn precision(&self) -> f64 {
+        ratio(self.correct, self.extracted)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// One page's score.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageScore {
+    pub sections: SectionCounts,
+    pub records: RecordCounts,
+}
+
+impl PageScore {
+    pub fn add(&mut self, o: &PageScore) {
+        self.sections.add(&o.sections);
+        self.records.add(&o.records);
+    }
+}
+
+/// Score one page's extraction against its ground truth.
+pub fn score_page(truth: &GroundTruth, ex: &Extraction) -> PageScore {
+    let gt_sections: Vec<Vec<String>> = truth
+        .sections
+        .iter()
+        .map(|s| s.records.iter().map(|r| r.key()).collect())
+        .collect();
+    let ex_sections: Vec<Vec<String>> = ex
+        .sections
+        .iter()
+        .map(|s| s.records.iter().map(|r| r.lines.join("\n")).collect())
+        .collect();
+
+    // Greedy max-match assignment: (gt, ex) pairs ranked by number of
+    // exactly matching record keys.
+    let mut pairs: Vec<(usize, usize, usize)> = Vec::new(); // (matches, gt, ex)
+    for (g, gt) in gt_sections.iter().enumerate() {
+        let gset: HashSet<&String> = gt.iter().collect();
+        for (e, exs) in ex_sections.iter().enumerate() {
+            let m = exs.iter().filter(|k| gset.contains(k)).count();
+            if m > 0 {
+                pairs.push((m, g, e));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut gt_used = vec![false; gt_sections.len()];
+    let mut ex_used = vec![false; ex_sections.len()];
+    let mut sections = SectionCounts {
+        actual: gt_sections.len(),
+        extracted: ex_sections.len(),
+        ..Default::default()
+    };
+    let mut records = RecordCounts::default();
+
+    for (m, g, e) in pairs {
+        if gt_used[g] || ex_used[e] {
+            continue;
+        }
+        gt_used[g] = true;
+        ex_used[e] = true;
+        let gt = &gt_sections[g];
+        let exs = &ex_sections[e];
+        let perfect = m == gt.len() && exs.len() == gt.len();
+        let partial = !perfect && (m as f64) > 0.6 * gt.len() as f64;
+        if perfect {
+            sections.perfect += 1;
+        } else if partial {
+            sections.partial += 1;
+        }
+        if perfect || partial {
+            records.actual += gt.len();
+            records.extracted += exs.len();
+            records.correct += m;
+        }
+    }
+    PageScore { sections, records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mse_core::{ExtractedRecord, ExtractedSection, SchemaId};
+    use mse_testbed::{GtRecord, GtSection};
+
+    fn gt(sections: &[&[&str]]) -> GroundTruth {
+        GroundTruth {
+            sections: sections
+                .iter()
+                .map(|recs| GtSection {
+                    schema: "s".into(),
+                    records: recs
+                        .iter()
+                        .map(|r| GtRecord {
+                            lines: r.split('\n').map(str::to_string).collect(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    fn ex(sections: &[&[&str]]) -> Extraction {
+        Extraction {
+            sections: sections
+                .iter()
+                .map(|recs| ExtractedSection {
+                    schema: SchemaId::Wrapper(0),
+                    start: 0,
+                    end: 0,
+                    records: recs
+                        .iter()
+                        .map(|r| ExtractedRecord {
+                            start: 0,
+                            end: 0,
+                            lines: r.split('\n').map(str::to_string).collect(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn perfect_extraction() {
+        let t = gt(&[&["a\n1", "b\n2"]]);
+        let e = ex(&[&["a\n1", "b\n2"]]);
+        let s = score_page(&t, &e);
+        assert_eq!(s.sections.perfect, 1);
+        assert_eq!(s.sections.partial, 0);
+        assert_eq!(s.records.correct, 2);
+        assert_eq!(s.sections.recall_perfect(), 1.0);
+        assert_eq!(s.sections.precision_perfect(), 1.0);
+    }
+
+    #[test]
+    fn partial_above_60_percent() {
+        // 3 of 4 records = 75% > 60% → partial.
+        let t = gt(&[&["a", "b", "c", "d"]]);
+        let e = ex(&[&["a", "b", "c"]]);
+        let s = score_page(&t, &e);
+        assert_eq!(s.sections.perfect, 0);
+        assert_eq!(s.sections.partial, 1);
+        assert_eq!(s.records.actual, 4);
+        assert_eq!(s.records.correct, 3);
+    }
+
+    #[test]
+    fn below_60_percent_not_counted() {
+        // 2 of 4 records = 50% → neither perfect nor partial.
+        let t = gt(&[&["a", "b", "c", "d"]]);
+        let e = ex(&[&["a", "b"]]);
+        let s = score_page(&t, &e);
+        assert_eq!(s.sections.perfect + s.sections.partial, 0);
+        assert_eq!(
+            s.records.actual, 0,
+            "records counted only inside correct sections"
+        );
+    }
+
+    #[test]
+    fn extra_record_breaks_perfect() {
+        let t = gt(&[&["a", "b", "c"]]);
+        let e = ex(&[&["a", "b", "c", "zzz"]]);
+        let s = score_page(&t, &e);
+        assert_eq!(s.sections.perfect, 0);
+        assert_eq!(s.sections.partial, 1); // 3/3 extracted but one incorrect
+        assert_eq!(s.records.extracted, 4);
+        assert_eq!(s.records.correct, 3);
+    }
+
+    #[test]
+    fn false_section_costs_precision() {
+        let t = gt(&[&["a", "b", "c"]]);
+        let e = ex(&[&["a", "b", "c"], &["noise1", "noise2"]]);
+        let s = score_page(&t, &e);
+        assert_eq!(s.sections.extracted, 2);
+        assert_eq!(s.sections.perfect, 1);
+        assert!(s.sections.precision_perfect() < 1.0);
+        assert_eq!(s.sections.recall_perfect(), 1.0);
+    }
+
+    #[test]
+    fn missed_section_costs_recall() {
+        let t = gt(&[&["a", "b"], &["x", "y"]]);
+        let e = ex(&[&["a", "b"]]);
+        let s = score_page(&t, &e);
+        assert_eq!(s.sections.actual, 2);
+        assert_eq!(s.sections.perfect, 1);
+        assert!((s.sections.recall_perfect() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignment_is_one_to_one() {
+        // Two GT sections, one extracted section matching both partially:
+        // it may be assigned to only one.
+        let t = gt(&[&["a", "b"], &["c", "d"]]);
+        let e = ex(&[&["a", "b", "c", "d"]]);
+        let s = score_page(&t, &e);
+        // assigned to one gt with m=2, exs.len()=4 ⇒ not perfect; partial
+        // (2/2 > 60% but extras make it non-perfect... m == gt.len() but
+        // exs longer ⇒ partial).
+        assert_eq!(s.sections.perfect, 0);
+        assert_eq!(s.sections.partial, 1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let s = score_page(&gt(&[]), &ex(&[]));
+        assert_eq!(s.sections, SectionCounts::default());
+        assert_eq!(s.sections.recall_perfect(), 0.0);
+        let s = score_page(&gt(&[&["a"]]), &ex(&[]));
+        assert_eq!(s.sections.actual, 1);
+        assert_eq!(s.sections.extracted, 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Corpus-level evaluation driver: wrapper construction per engine on the
+//! sample split, extraction on both splits, aggregation into the paper's
+//! table rows. Engines are independent and scored in parallel with
+//! `std::thread`.
+
+use crate::metrics::{score_page, PageScore};
+use mse_core::{Mse, MseConfig, SectionWrapperSet};
+use mse_testbed::{Corpus, EngineSpec};
+use serde::{Deserialize, Serialize};
+
+/// Per-engine evaluation result.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EngineScore {
+    pub sample: PageScore,
+    pub test: PageScore,
+}
+
+impl EngineScore {
+    pub fn total(&self) -> PageScore {
+        let mut t = self.sample;
+        t.add(&self.test);
+        t
+    }
+}
+
+/// Per-engine outcome, including build failures (scored as zero
+/// extraction — the actual sections still count).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EngineOutcome {
+    pub engine_id: usize,
+    pub multi: bool,
+    pub built: bool,
+    pub score: EngineScore,
+}
+
+/// Build wrappers for one engine from its sample pages and score all pages.
+pub fn score_engine(corpus: &Corpus, engine: &EngineSpec, cfg: &MseConfig) -> EngineOutcome {
+    let sample_pages = corpus.sample_pages(engine);
+    let inputs: Vec<(String, String)> = sample_pages
+        .iter()
+        .map(|p| (p.html.clone(), p.query.clone()))
+        .collect();
+    let refs: Vec<(&str, Option<&str>)> = inputs
+        .iter()
+        .map(|(h, q)| (h.as_str(), Some(q.as_str())))
+        .collect();
+    let wrappers = Mse::new(cfg.clone()).build_with_queries(&refs).ok();
+
+    let mut score = EngineScore::default();
+    for q in 0..corpus.config.pages_per_engine {
+        let page = engine.page(q);
+        let ex = match &wrappers {
+            Some(w) => w.extract_with_query(&page.html, Some(&page.query)),
+            None => Default::default(),
+        };
+        let ps = score_page(&page.truth, &ex);
+        if q < corpus.config.n_sample_pages {
+            score.sample.add(&ps);
+        } else {
+            score.test.add(&ps);
+        }
+    }
+    EngineOutcome {
+        engine_id: engine.id,
+        multi: engine.multi,
+        built: wrappers.is_some(),
+        score,
+    }
+}
+
+/// Build the wrapper set for one engine (shared by benches/examples).
+pub fn build_engine_wrappers(
+    corpus: &Corpus,
+    engine: &EngineSpec,
+    cfg: &MseConfig,
+) -> Result<SectionWrapperSet, mse_core::BuildError> {
+    let sample_pages = corpus.sample_pages(engine);
+    let inputs: Vec<(String, String)> = sample_pages
+        .iter()
+        .map(|p| (p.html.clone(), p.query.clone()))
+        .collect();
+    let refs: Vec<(&str, Option<&str>)> = inputs
+        .iter()
+        .map(|(h, q)| (h.as_str(), Some(q.as_str())))
+        .collect();
+    Mse::new(cfg.clone()).build_with_queries(&refs)
+}
+
+/// Aggregated corpus score with the sample/test split the paper reports.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CorpusScore {
+    pub outcomes: Vec<EngineOutcome>,
+}
+
+impl CorpusScore {
+    /// Aggregate (sample, test, total) over an engine filter.
+    pub fn aggregate<F: Fn(&EngineOutcome) -> bool>(
+        &self,
+        filter: F,
+    ) -> (PageScore, PageScore, PageScore) {
+        let mut s = PageScore::default();
+        let mut t = PageScore::default();
+        for o in self.outcomes.iter().filter(|o| filter(o)) {
+            s.add(&o.score.sample);
+            t.add(&o.score.test);
+        }
+        let mut total = s;
+        total.add(&t);
+        (s, t, total)
+    }
+
+    pub fn all(&self) -> (PageScore, PageScore, PageScore) {
+        self.aggregate(|_| true)
+    }
+
+    pub fn multi_only(&self) -> (PageScore, PageScore, PageScore) {
+        self.aggregate(|o| o.multi)
+    }
+}
+
+/// Evaluate a whole corpus, `threads`-wide.
+pub fn run_corpus(corpus: &Corpus, cfg: &MseConfig, threads: usize) -> CorpusScore {
+    let threads = threads.max(1);
+    let n = corpus.engines.len();
+    let mut outcomes: Vec<Option<EngineOutcome>> = vec![None; n];
+    std::thread::scope(|scope| {
+        let chunks: Vec<_> = outcomes
+            .chunks_mut(n.div_ceil(threads))
+            .enumerate()
+            .collect();
+        for (c, chunk) in chunks {
+            let base = c * n.div_ceil(threads);
+            let corpus = &*corpus;
+            let cfg = &*cfg;
+            scope.spawn(move || {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    let engine = &corpus.engines[base + k];
+                    *slot = Some(score_engine(corpus, engine, cfg));
+                }
+            });
+        }
+    });
+    CorpusScore {
+        outcomes: outcomes.into_iter().map(Option::unwrap).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mse_testbed::CorpusConfig;
+
+    #[test]
+    fn single_engine_scores_reasonably() {
+        // One easy single-section engine end-to-end.
+        let corpus = Corpus::generate(CorpusConfig::small(21));
+        let engine = corpus.engines.iter().find(|e| !e.multi).unwrap();
+        let cfg = MseConfig::default();
+        let o = score_engine(&corpus, engine, &cfg);
+        assert!(
+            o.built,
+            "wrapper construction failed for engine {}",
+            engine.id
+        );
+        let total = o.score.total();
+        assert_eq!(total.sections.actual, 10);
+        assert!(
+            total.sections.perfect + total.sections.partial >= 8,
+            "engine {}: {total:?}",
+            engine.id
+        );
+    }
+
+    #[test]
+    fn corpus_runner_aggregates() {
+        let mut cc = CorpusConfig::small(22);
+        cc.n_single = 2;
+        cc.n_multi = 1;
+        let corpus = Corpus::generate(cc);
+        let cfg = MseConfig::default();
+        let score = run_corpus(&corpus, &cfg, 3);
+        assert_eq!(score.outcomes.len(), 3);
+        let (s, t, total) = score.all();
+        assert_eq!(s.sections.actual + t.sections.actual, total.sections.actual);
+        assert!(total.sections.actual >= 30);
+        let (_, _, multi_total) = score.multi_only();
+        assert!(multi_total.sections.actual > 10, "{multi_total:?}");
+    }
+}
+
+#[cfg(test)]
+mod thread_tests {
+    use super::*;
+    use mse_core::MseConfig;
+    use mse_testbed::CorpusConfig;
+
+    /// The parallel runner must be a pure function of (corpus, config):
+    /// identical results for any thread count.
+    #[test]
+    fn runner_deterministic_across_thread_counts() {
+        let mut cc = CorpusConfig::small(17);
+        cc.n_single = 3;
+        cc.n_multi = 2;
+        let corpus = Corpus::generate(cc);
+        let cfg = MseConfig::default();
+        let a = run_corpus(&corpus, &cfg, 1);
+        let b = run_corpus(&corpus, &cfg, 5);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.engine_id, y.engine_id);
+            assert_eq!(x.built, y.built);
+            assert_eq!(x.score.sample, y.score.sample);
+            assert_eq!(x.score.test, y.score.test);
+        }
+    }
+
+    /// Aggregations partition: all == multi + single contributions.
+    #[test]
+    fn aggregate_partitions() {
+        let corpus = Corpus::generate(CorpusConfig::small(19));
+        let cfg = MseConfig::default();
+        let score = run_corpus(&corpus, &cfg, 4);
+        let (_, _, all) = score.all();
+        let (_, _, multi) = score.multi_only();
+        let (_, _, single) = score.aggregate(|o| !o.multi);
+        assert_eq!(
+            all.sections.actual,
+            multi.sections.actual + single.sections.actual
+        );
+        assert_eq!(
+            all.sections.perfect,
+            multi.sections.perfect + single.sections.perfect
+        );
+        assert_eq!(
+            all.records.correct,
+            multi.records.correct + single.records.correct
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Paper-style table formatting (Tables 1–3).
+
+use crate::metrics::PageScore;
+
+/// One formatted section-table row ("S pgs" / "T pgs" / "Total").
+#[derive(Clone, Debug)]
+pub struct SectionRow {
+    pub label: String,
+    pub actual: usize,
+    pub extracted: usize,
+    pub perfect: usize,
+    pub partial: usize,
+    pub recall_perfect: f64,
+    pub recall_total: f64,
+    pub precision_perfect: f64,
+    pub precision_total: f64,
+}
+
+impl SectionRow {
+    pub fn from_score(label: &str, s: &PageScore) -> SectionRow {
+        SectionRow {
+            label: label.to_string(),
+            actual: s.sections.actual,
+            extracted: s.sections.extracted,
+            perfect: s.sections.perfect,
+            partial: s.sections.partial,
+            recall_perfect: 100.0 * s.sections.recall_perfect(),
+            recall_total: 100.0 * s.sections.recall_total(),
+            precision_perfect: 100.0 * s.sections.precision_perfect(),
+            precision_total: 100.0 * s.sections.precision_total(),
+        }
+    }
+}
+
+/// Render a section-extraction table (paper Tables 1/2 layout).
+pub fn section_table(title: &str, rows: &[(&str, PageScore)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(
+        "        #Actual  #Extracted  #Perfect  #Partial  | Recall%          | Precision%\n",
+    );
+    out.push_str(
+        "                                                 | Perfect   Total  | Perfect   Total\n",
+    );
+    out.push_str(&"-".repeat(96));
+    out.push('\n');
+    for (label, s) in rows {
+        let r = SectionRow::from_score(label, s);
+        out.push_str(&format!(
+            "{:<7} {:>7}  {:>10}  {:>8}  {:>8}  | {:>7.1}  {:>6.1}  | {:>7.1}  {:>6.1}\n",
+            r.label,
+            r.actual,
+            r.extracted,
+            r.perfect,
+            r.partial,
+            r.recall_perfect,
+            r.recall_total,
+            r.precision_perfect,
+            r.precision_total,
+        ));
+    }
+    out
+}
+
+/// Render a record-extraction table (paper Table 3 layout).
+pub fn record_table(title: &str, rows: &[(&str, PageScore)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str("        #Actual  #Extracted  #Correct  Recall%  Precision%\n");
+    out.push_str(&"-".repeat(60));
+    out.push('\n');
+    for (label, s) in rows {
+        out.push_str(&format!(
+            "{:<7} {:>7}  {:>10}  {:>8}  {:>7.1}  {:>10.1}\n",
+            label,
+            s.records.actual,
+            s.records.extracted,
+            s.records.correct,
+            100.0 * s.records.recall(),
+            100.0 * s.records.precision(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{RecordCounts, SectionCounts};
+
+    fn sample_score() -> PageScore {
+        PageScore {
+            sections: SectionCounts {
+                actual: 1057,
+                extracted: 1106,
+                perfect: 899,
+                partial: 136,
+            },
+            records: RecordCounts {
+                actual: 9615,
+                extracted: 9597,
+                correct: 9490,
+            },
+        }
+    }
+
+    #[test]
+    fn section_table_matches_paper_arithmetic() {
+        // The paper's Table 1 "S pgs" row: 85.0 / 97.9 / 81.3 / 93.6.
+        let s = sample_score();
+        let r = SectionRow::from_score("S pgs", &s);
+        assert!((r.recall_perfect - 85.0).abs() < 0.1, "{r:?}");
+        assert!((r.recall_total - 97.9).abs() < 0.1);
+        assert!((r.precision_perfect - 81.3).abs() < 0.1);
+        assert!((r.precision_total - 93.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn record_table_matches_paper_arithmetic() {
+        // Table 3 "S pgs": recall 98.7, precision 98.9.
+        let s = sample_score();
+        assert!((100.0 * s.records.recall() - 98.7).abs() < 0.1);
+        assert!((100.0 * s.records.precision() - 98.9).abs() < 0.1);
+    }
+
+    #[test]
+    fn tables_render() {
+        let s = sample_score();
+        let t = section_table("Table 1", &[("S pgs", s), ("Total", s)]);
+        assert!(t.contains("Table 1"));
+        assert!(t.contains("S pgs"));
+        assert!(t.lines().count() >= 6);
+        let t = record_table("Table 3", &[("S pgs", s)]);
+        assert!(t.contains("98.7"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests on the scorer: counting identities that must hold for
+//! any ground truth / extraction pair.
+
+use mse_core::{ExtractedRecord, ExtractedSection, Extraction, SchemaId};
+use mse_eval::score_page;
+use mse_testbed::{GroundTruth, GtRecord, GtSection};
+use proptest::prelude::*;
+
+fn arb_records() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(proptest::collection::vec("[a-d]{1,4}", 1..4), 0..5)
+}
+
+fn arb_sections() -> impl Strategy<Value = Vec<Vec<Vec<String>>>> {
+    proptest::collection::vec(arb_records(), 0..4)
+}
+
+fn to_gt(sections: &[Vec<Vec<String>>]) -> GroundTruth {
+    GroundTruth {
+        sections: sections
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|recs| GtSection {
+                schema: "s".into(),
+                records: recs
+                    .iter()
+                    .map(|lines| GtRecord {
+                        lines: lines.clone(),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+fn to_ex(sections: &[Vec<Vec<String>>]) -> Extraction {
+    Extraction {
+        sections: sections
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|recs| ExtractedSection {
+                schema: SchemaId::Wrapper(0),
+                start: 0,
+                end: 0,
+                records: recs
+                    .iter()
+                    .map(|lines| ExtractedRecord {
+                        start: 0,
+                        end: 0,
+                        lines: lines.clone(),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Counting identities: perfect + partial never exceeds either side;
+    /// ratios stay in [0, 1]; record counts only accrue inside counted
+    /// sections.
+    #[test]
+    fn score_counts_consistent(gt in arb_sections(), ex in arb_sections()) {
+        let truth = to_gt(&gt);
+        let extraction = to_ex(&ex);
+        let s = score_page(&truth, &extraction);
+        prop_assert_eq!(s.sections.actual, truth.sections.len());
+        prop_assert_eq!(s.sections.extracted, extraction.sections.len());
+        let counted = s.sections.perfect + s.sections.partial;
+        prop_assert!(counted <= s.sections.actual);
+        prop_assert!(counted <= s.sections.extracted);
+        for r in [
+            s.sections.recall_perfect(),
+            s.sections.recall_total(),
+            s.sections.precision_perfect(),
+            s.sections.precision_total(),
+            s.records.recall(),
+            s.records.precision(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&r), "ratio out of range: {r}");
+        }
+        prop_assert!(s.records.correct <= s.records.actual);
+        prop_assert!(s.records.correct <= s.records.extracted);
+    }
+
+    /// Scoring an extraction against itself is a perfect score whenever
+    /// all record keys are page-unique.
+    #[test]
+    fn self_score_is_perfect(gt in arb_sections()) {
+        let truth = to_gt(&gt);
+        // Make record keys unique across the page.
+        let mut uniq = truth.clone();
+        let mut i = 0;
+        for s in &mut uniq.sections {
+            for r in &mut s.records {
+                r.lines.push(format!("uniq{i}"));
+                i += 1;
+            }
+        }
+        let sections: Vec<Vec<Vec<String>>> = uniq
+            .sections
+            .iter()
+            .map(|s| s.records.iter().map(|r| r.lines.clone()).collect())
+            .collect();
+        let s = score_page(&uniq, &to_ex(&sections));
+        prop_assert_eq!(s.sections.perfect, uniq.sections.len());
+        prop_assert_eq!(s.sections.partial, 0);
+        if !uniq.sections.is_empty() {
+            prop_assert_eq!(s.records.recall(), 1.0);
+            prop_assert_eq!(s.records.precision(), 1.0);
+        }
+    }
+
+    /// Scoring against an empty extraction counts everything as missed and
+    /// nothing as extracted.
+    #[test]
+    fn empty_extraction(gt in arb_sections()) {
+        let truth = to_gt(&gt);
+        let s = score_page(&truth, &Extraction::default());
+        prop_assert_eq!(s.sections.extracted, 0);
+        prop_assert_eq!(s.sections.perfect + s.sections.partial, 0);
+        prop_assert_eq!(s.records.actual, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Blocks — ordered lists of consecutive content lines (paper §4.2) — and
+//! the four block distances used by the record distance (Formula 4).
+
+use crate::line::{dpl, dtl, ContentLine, POSITION_K};
+use crate::style::{dtal, LineAttrs};
+use mse_treedit::string_edit_distance_norm_with;
+
+/// Insertion/deletion cost for block-sequence distances: an optional line
+/// (a record with/without its snippet) is a benign difference and costs
+/// half a unit, keeping same-format records visibly closer than
+/// different-format ones.
+pub const BLOCK_INDEL: f64 = 0.5;
+
+/// Block type distance `Dbt ∈ [0, 1]`: normalized edit distance between the
+/// two blocks' line-type sequences, substitution cost = line type distance.
+pub fn dbt(a: &[ContentLine], b: &[ContentLine]) -> f64 {
+    let ta: Vec<_> = a.iter().map(|l| l.ltype).collect();
+    let tb: Vec<_> = b.iter().map(|l| l.ltype).collect();
+    string_edit_distance_norm_with(&ta, &tb, |&x, &y| dtl(x, y), BLOCK_INDEL)
+}
+
+/// Block shape distance `Dbs ∈ [0, 1]`: the *left contour* of a block is the
+/// sequence of its line positions relative to the block's own left edge;
+/// contours are compared by normalized edit distance with a logarithmic
+/// displacement cost.
+pub fn dbs(a: &[ContentLine], b: &[ContentLine]) -> f64 {
+    let rel = |ls: &[ContentLine]| -> Vec<i32> {
+        let base = ls.iter().map(|l| l.pos).min().unwrap_or(0);
+        ls.iter().map(|l| l.pos - base).collect()
+    };
+    let ra = rel(a);
+    let rb = rel(b);
+    string_edit_distance_norm_with(
+        &ra,
+        &rb,
+        |&x, &y| (POSITION_K * (1.0 + (x - y).abs() as f64).ln()).min(1.0),
+        BLOCK_INDEL,
+    )
+}
+
+/// Block position distance `Dbp ∈ [0, 1]`: distance between the blocks'
+/// left edges on the page.
+pub fn dbp(a: &[ContentLine], b: &[ContentLine]) -> f64 {
+    let pos = |ls: &[ContentLine]| ls.iter().map(|l| l.pos).min().unwrap_or(0);
+    dpl(pos(a), pos(b))
+}
+
+/// Block text attribute distance `Dbta ∈ [0, 1]`: edit distance between the
+/// blocks' per-line attribute sets, substitution cost = `Dtal` (Formula 2).
+pub fn dbta(a: &[ContentLine], b: &[ContentLine]) -> f64 {
+    let ta: Vec<&LineAttrs> = a.iter().map(|l| &l.attrs).collect();
+    let tb: Vec<&LineAttrs> = b.iter().map(|l| &l.attrs).collect();
+    string_edit_distance_norm_with(&ta, &tb, |x, y| dtal(x, y), BLOCK_INDEL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::render_lines;
+    use mse_dom::parse;
+
+    fn lines(html: &str) -> Vec<ContentLine> {
+        render_lines(&parse(html))
+    }
+
+    #[test]
+    fn identical_blocks_zero_everywhere() {
+        let ls = lines("<body><p><a href=x>t</a></p><p>snip</p></body>");
+        assert_eq!(dbt(&ls, &ls), 0.0);
+        assert_eq!(dbs(&ls, &ls), 0.0);
+        assert_eq!(dbp(&ls, &ls), 0.0);
+        assert_eq!(dbta(&ls, &ls), 0.0);
+    }
+
+    #[test]
+    fn same_format_records_close() {
+        let a = lines(
+            "<body><p><a href=1>First result</a><br><font size=-1>snippet a</font></p></body>",
+        );
+        let b = lines("<body><p><a href=2>Second longer result title</a><br><font size=-1>other snippet</font></p></body>");
+        assert!(dbt(&a, &b) < 0.05, "dbt = {}", dbt(&a, &b));
+        assert!(dbs(&a, &b) < 0.05);
+        assert!(dbta(&a, &b) < 0.05);
+    }
+
+    #[test]
+    fn different_format_records_far() {
+        let a = lines("<body><p><a href=1>title</a><br>snippet</p></body>");
+        let b = lines("<body><table><tr><td><img src=i></td><td>$9.99</td><td><input type=submit></td></tr></table></body>");
+        assert!(dbt(&a, &b) > 0.4, "dbt = {}", dbt(&a, &b));
+    }
+
+    #[test]
+    fn shape_is_translation_invariant() {
+        // The same record shape indented inside a list should have zero
+        // shape distance (contours are relative to the block edge).
+        let a = lines("<body><p><a href=1>t</a></p><p>s</p></body>");
+        let b = lines("<body><ul><li><a href=1>t</a><br>s</li></ul></body>");
+        assert_eq!(dbs(&a, &b), 0.0);
+        // but nonzero position distance
+        assert!(dbp(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn empty_blocks() {
+        let e: Vec<ContentLine> = vec![];
+        let a = lines("<body><p>x</p></body>");
+        assert_eq!(dbt(&e, &e), 0.0);
+        assert_eq!(dbt(&a, &e), BLOCK_INDEL);
+        assert_eq!(dbs(&a, &e), BLOCK_INDEL);
+        assert_eq!(dbta(&a, &e), BLOCK_INDEL);
+    }
+
+    #[test]
+    fn longer_block_small_penalty() {
+        // Same record with one extra snippet line: distance small but > 0.
+        let a = lines("<body><p><a href=1>t</a><br>s1</p></body>");
+        let b = lines("<body><p><a href=1>t</a><br>s1<br>s2</p></body>");
+        let d = dbt(&a, &b);
+        assert!(d > 0.0 && d < 0.5, "d = {d}");
+    }
+}

@@ -1,0 +1,468 @@
+//! The layout simulator: DOM → content lines.
+//!
+//! This replaces the paper's browser-rendering step (its step 1, taken from
+//! ViNTs \[29\]). We do not chase pixel fidelity — MSE only consumes
+//! *relative* visual signals (which content shares a line, left contours,
+//! line types, font attributes), so a deterministic flow model suffices:
+//!
+//! * inline content accumulates into the current line; block elements,
+//!   `<br>` and table cells flush it;
+//! * the position code is the x offset accumulated from indentation
+//!   contexts (lists, blockquotes, table-cell offsets);
+//! * text attributes cascade per [`crate::style`].
+
+use crate::line::{ContentLine, LineType};
+use crate::style::{LineAttrs, TextAttr};
+use mse_dom::{CompactTagPath, Dom, NodeId, NodeKind};
+
+/// Horizontal indent added by `<ul>/<ol>/<blockquote>/<dd>/<dl>`.
+const LIST_INDENT: i32 = 40;
+/// Default estimated width of a table cell without a `width` attribute.
+const DEFAULT_CELL_WIDTH: i32 = 120;
+/// Assumed canvas width for percentage cell widths.
+const CANVAS_WIDTH: i32 = 760;
+/// Small inset applied inside tables (cell padding/border).
+const TABLE_INSET: i32 = 3;
+
+/// Render a parsed document into its content-line sequence.
+pub fn render_lines(dom: &Dom) -> Vec<ContentLine> {
+    let mut l = Layouter {
+        dom,
+        lines: Vec::new(),
+        cur: Current::default(),
+    };
+    let body = dom.find_tag("body").unwrap_or_else(|| dom.root());
+    l.visit(
+        body,
+        &Ctx {
+            attr: TextAttr::default(),
+            x: 0,
+            in_link: false,
+            in_heading: false,
+        },
+    );
+    l.flush();
+    // Assign 1-based line numbers.
+    for (i, line) in l.lines.iter_mut().enumerate() {
+        line.number = i + 1;
+    }
+    l.lines
+}
+
+#[derive(Clone)]
+struct Ctx {
+    attr: TextAttr,
+    x: i32,
+    in_link: bool,
+    in_heading: bool,
+}
+
+#[derive(Default)]
+struct Current {
+    text: String,
+    attrs: LineAttrs,
+    leaves: Vec<NodeId>,
+    has_link_text: bool,
+    has_plain_text: bool,
+    has_image: bool,
+    has_form: bool,
+    heading: bool,
+    x: i32,
+    started: bool,
+}
+
+struct Layouter<'a> {
+    dom: &'a Dom,
+    lines: Vec<ContentLine>,
+    cur: Current,
+}
+
+/// Block-level elements that force a line break before and after.
+fn is_block(tag: &str) -> bool {
+    matches!(
+        tag,
+        "p" | "div"
+            | "table"
+            | "tr"
+            | "td"
+            | "th"
+            | "ul"
+            | "ol"
+            | "li"
+            | "dl"
+            | "dt"
+            | "dd"
+            | "blockquote"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "form"
+            | "center"
+            | "pre"
+            | "tbody"
+            | "thead"
+            | "tfoot"
+            | "caption"
+            | "fieldset"
+            | "address"
+    )
+}
+
+fn parse_width(v: &str) -> Option<i32> {
+    let v = v.trim();
+    if let Some(pct) = v.strip_suffix('%') {
+        let p: f64 = pct.trim().parse().ok()?;
+        return Some((p / 100.0 * CANVAS_WIDTH as f64) as i32);
+    }
+    let px: f64 = v.trim_end_matches("px").trim().parse().ok()?;
+    Some(px as i32)
+}
+
+impl<'a> Layouter<'a> {
+    fn ensure_started(&mut self, x: i32, leaf: NodeId) {
+        if !self.cur.started {
+            self.cur.started = true;
+            self.cur.x = x;
+        }
+        self.cur.leaves.push(leaf);
+    }
+
+    fn flush(&mut self) {
+        let cur = std::mem::take(&mut self.cur);
+        if !cur.started {
+            return;
+        }
+        let text = cur.text.trim().to_string();
+        let has_text = !text.is_empty();
+        let ltype = if cur.has_form {
+            LineType::Form
+        } else if cur.heading && has_text {
+            LineType::Heading
+        } else if has_text {
+            match (cur.has_link_text, cur.has_plain_text) {
+                (true, true) => LineType::LinkText,
+                (true, false) => LineType::Link,
+                _ => LineType::Text,
+            }
+        } else if cur.has_image {
+            LineType::Image
+        } else {
+            // A line with no visible content: drop it.
+            return;
+        };
+        let first_leaf = cur.leaves.first().copied();
+        let path = match first_leaf {
+            Some(leaf) => CompactTagPath::to_node(self.dom, leaf),
+            None => CompactTagPath::default(),
+        };
+        self.lines.push(ContentLine {
+            number: 0,
+            text,
+            ltype,
+            pos: cur.x,
+            attrs: cur.attrs,
+            path,
+            leaves: cur.leaves,
+        });
+    }
+
+    fn emit_hr(&mut self, node: NodeId, x: i32) {
+        self.flush();
+        self.lines.push(ContentLine {
+            number: 0,
+            text: String::new(),
+            ltype: LineType::Hr,
+            pos: x,
+            attrs: LineAttrs::new(),
+            path: CompactTagPath::to_node(self.dom, node),
+            leaves: vec![node],
+        });
+    }
+
+    fn add_text(&mut self, node: NodeId, t: &str, ctx: &Ctx) {
+        let collapsed: String = t.split_whitespace().collect::<Vec<_>>().join(" ");
+        if collapsed.is_empty() {
+            return;
+        }
+        self.ensure_started(ctx.x, node);
+        if !self.cur.text.is_empty() && !self.cur.text.ends_with(' ') {
+            // Preserve a word boundary when the source had surrounding space.
+            if t.starts_with(char::is_whitespace) {
+                self.cur.text.push(' ');
+            }
+        }
+        self.cur.text.push_str(&collapsed);
+        if t.ends_with(char::is_whitespace) {
+            self.cur.text.push(' ');
+        }
+        self.cur.attrs.insert(ctx.attr.clone());
+        if ctx.in_link {
+            self.cur.has_link_text = true;
+        } else {
+            self.cur.has_plain_text = true;
+        }
+        if ctx.in_heading {
+            self.cur.heading = true;
+        }
+    }
+
+    fn visit(&mut self, node: NodeId, ctx: &Ctx) {
+        match &self.dom[node].kind {
+            NodeKind::Text(t) => self.add_text(node, t, ctx),
+            NodeKind::Comment(_) | NodeKind::Document => {
+                for c in self.dom.children(node) {
+                    self.visit(c, ctx);
+                }
+            }
+            NodeKind::Element { tag, .. } => self.visit_element(node, tag.clone(), ctx),
+        }
+    }
+
+    fn visit_element(&mut self, node: NodeId, tag: String, ctx: &Ctx) {
+        let data = &self.dom[node];
+        match tag.as_str() {
+            "script" | "style" | "head" | "title" | "meta" | "link" | "base" => return,
+            "hr" => {
+                self.emit_hr(node, ctx.x);
+                return;
+            }
+            "br" => {
+                self.flush();
+                return;
+            }
+            "img" => {
+                self.ensure_started(ctx.x, node);
+                self.cur.has_image = true;
+                self.cur.attrs.insert(ctx.attr.clone());
+                return;
+            }
+            "input" | "select" | "textarea" | "button" | "option" => {
+                // <input type=hidden> renders nothing.
+                if tag == "input"
+                    && data
+                        .attr("type")
+                        .map(|t| t.eq_ignore_ascii_case("hidden"))
+                        .unwrap_or(false)
+                {
+                    return;
+                }
+                self.ensure_started(ctx.x, node);
+                self.cur.has_form = true;
+                self.cur.attrs.insert(ctx.attr.clone());
+                // Render the control's visible label: option/button inner
+                // text, or an <input>'s value (browsers display both).
+                let label = if matches!(tag.as_str(), "option" | "button") {
+                    self.dom.text_of(node)
+                } else if tag == "input" {
+                    data.attr("value").unwrap_or("").to_string()
+                } else {
+                    String::new()
+                };
+                let label = label.trim();
+                if !label.is_empty() {
+                    self.cur.text.push_str(label);
+                    self.cur.text.push(' ');
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        let mut child_ctx = Ctx {
+            attr: ctx.attr.apply_element(data),
+            x: ctx.x,
+            in_link: ctx.in_link || (tag == "a" && data.attr("href").is_some()),
+            in_heading: ctx.in_heading
+                || matches!(tag.as_str(), "h1" | "h2" | "h3" | "h4" | "h5" | "h6"),
+        };
+
+        match tag.as_str() {
+            "ul" | "ol" | "blockquote" | "dd" => child_ctx.x += LIST_INDENT,
+            "table" => child_ctx.x += TABLE_INSET,
+            _ => {}
+        }
+
+        if tag == "tr" {
+            // Lay out cells left-to-right with accumulated x offsets.
+            self.flush();
+            let mut cell_x = child_ctx.x;
+            for cell in self.dom.children(node).collect::<Vec<_>>() {
+                if !self.dom[cell].is_element() {
+                    continue;
+                }
+                let cell_tag = self.dom[cell].tag().unwrap_or("");
+                if !matches!(cell_tag, "td" | "th") {
+                    continue;
+                }
+                let mut cctx = child_ctx.clone();
+                cctx.x = cell_x;
+                cctx.attr = child_ctx.attr.apply_element(&self.dom[cell]);
+                self.flush();
+                for c in self.dom.children(cell).collect::<Vec<_>>() {
+                    self.visit(c, &cctx);
+                }
+                self.flush();
+                let w = self.dom[cell]
+                    .attr("width")
+                    .and_then(parse_width)
+                    .unwrap_or(DEFAULT_CELL_WIDTH);
+                cell_x += w;
+            }
+            return;
+        }
+
+        let block = is_block(&tag);
+        if block {
+            self.flush();
+        }
+        for c in self.dom.children(node).collect::<Vec<_>>() {
+            self.visit(c, &child_ctx);
+        }
+        if block {
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mse_dom::parse;
+
+    fn lines(html: &str) -> Vec<ContentLine> {
+        render_lines(&parse(html))
+    }
+
+    #[test]
+    fn inline_accumulates_block_flushes() {
+        let ls = lines("<body><p>Hello <b>world</b></p><p>second</p></body>");
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls[0].text, "Hello world");
+        assert_eq!(ls[1].text, "second");
+        assert_eq!(ls[0].number, 1);
+        assert_eq!(ls[1].number, 2);
+    }
+
+    #[test]
+    fn br_splits_lines() {
+        let ls = lines("<body><p>one<br>two</p></body>");
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls[0].text, "one");
+        assert_eq!(ls[1].text, "two");
+    }
+
+    #[test]
+    fn line_types() {
+        let ls = lines(concat!(
+            "<body>",
+            "<p>plain</p>",
+            "<p><a href=x>all link</a></p>",
+            "<p><a href=x>link</a> then text</p>",
+            "<p><img src=i></p>",
+            "<hr>",
+            "<h2>header</h2>",
+            "<form><input type=text></form>",
+            "</body>"
+        ));
+        let types: Vec<LineType> = ls.iter().map(|l| l.ltype).collect();
+        assert_eq!(
+            types,
+            vec![
+                LineType::Text,
+                LineType::Link,
+                LineType::LinkText,
+                LineType::Image,
+                LineType::Hr,
+                LineType::Heading,
+                LineType::Form,
+            ]
+        );
+    }
+
+    #[test]
+    fn list_indentation() {
+        let ls = lines("<body><p>top</p><ul><li>item</li></ul></body>");
+        assert_eq!(ls[0].pos, 0);
+        assert_eq!(ls[1].pos, LIST_INDENT);
+    }
+
+    #[test]
+    fn nested_list_indentation_accumulates() {
+        let ls = lines("<body><ul><li>a<ul><li>b</li></ul></li></ul></body>");
+        assert_eq!(ls[0].pos, LIST_INDENT);
+        assert_eq!(ls[1].pos, 2 * LIST_INDENT);
+    }
+
+    #[test]
+    fn table_cells_get_column_offsets() {
+        let ls = lines("<body><table><tr><td>c1</td><td>c2</td><td>c3</td></tr></table></body>");
+        assert_eq!(ls.len(), 3);
+        assert_eq!(ls[0].pos, TABLE_INSET);
+        assert_eq!(ls[1].pos, TABLE_INSET + DEFAULT_CELL_WIDTH);
+        assert_eq!(ls[2].pos, TABLE_INSET + 2 * DEFAULT_CELL_WIDTH);
+    }
+
+    #[test]
+    fn cell_width_attr_honored() {
+        let ls = lines("<body><table><tr><td width=\"200\">a</td><td>b</td></tr></table></body>");
+        assert_eq!(ls[1].pos - ls[0].pos, 200);
+        let ls = lines("<body><table><tr><td width=\"50%\">a</td><td>b</td></tr></table></body>");
+        assert_eq!(ls[1].pos - ls[0].pos, CANVAS_WIDTH / 2);
+    }
+
+    #[test]
+    fn whitespace_collapsed() {
+        let ls = lines("<body><p>  a\n\n   b\t c  </p></body>");
+        assert_eq!(ls[0].text, "a b c");
+    }
+
+    #[test]
+    fn hidden_input_not_rendered() {
+        let ls = lines("<body><form><input type=hidden name=q></form></body>");
+        assert!(ls.is_empty());
+    }
+
+    #[test]
+    fn attrs_collected_per_line() {
+        let ls = lines("<body><p>plain <b>bold</b></p></body>");
+        assert_eq!(ls[0].attrs.len(), 2);
+        let bolds: Vec<bool> = ls[0].attrs.iter().map(|a| a.style.bold).collect();
+        assert!(bolds.contains(&true) && bolds.contains(&false));
+    }
+
+    #[test]
+    fn leaves_recorded_in_order() {
+        let ls = lines("<body><p>a <img src=x> b</p></body>");
+        assert_eq!(ls[0].leaves.len(), 3);
+    }
+
+    #[test]
+    fn tag_path_points_at_first_leaf() {
+        let ls = lines("<body><div><p>x</p></div></body>");
+        let tags: Vec<&str> = ls[0].path.steps.iter().map(|s| s.tag.as_str()).collect();
+        assert_eq!(tags, vec!["html", "body", "div", "p"]);
+    }
+
+    #[test]
+    fn empty_elements_emit_nothing() {
+        let ls = lines("<body><div></div><p>   </p><span></span></body>");
+        assert!(ls.is_empty());
+    }
+
+    #[test]
+    fn serp_like_record_renders_as_two_lines() {
+        let ls = lines(concat!(
+            "<body><table><tr><td>",
+            "<a href=\"/r1\">Result title</a><br>",
+            "<font size=\"-1\">Snippet text here</font>",
+            "</td></tr></table></body>"
+        ));
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls[0].ltype, LineType::Link);
+        assert_eq!(ls[1].ltype, LineType::Text);
+        assert_eq!(ls[0].pos, ls[1].pos);
+    }
+}

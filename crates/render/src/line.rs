@@ -1,0 +1,161 @@
+//! Content lines — the paper's basic visual constructs (§4.2).
+
+use crate::style::{dtal, LineAttrs};
+use mse_dom::{CompactTagPath, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The eight content line types (ViNTs type codes, paper §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineType {
+    /// Plain text only.
+    Text,
+    /// Entirely link text (every character inside `<a href>`).
+    Link,
+    /// Mixed: starts with link text followed by plain text (or vice versa).
+    LinkText,
+    /// Images only (no text).
+    Image,
+    /// Contains form controls (input/select/textarea/button).
+    Form,
+    /// A horizontal rule.
+    Hr,
+    /// Rendered from a heading element (`<h1>`–`<h6>`).
+    Heading,
+    /// Empty line (spacing only). Rare: the renderer suppresses most.
+    Blank,
+}
+
+impl LineType {
+    /// Numeric type code.
+    pub fn code(self) -> u8 {
+        match self {
+            LineType::Text => 1,
+            LineType::Link => 2,
+            LineType::LinkText => 3,
+            LineType::Image => 4,
+            LineType::Form => 5,
+            LineType::Hr => 6,
+            LineType::Heading => 7,
+            LineType::Blank => 8,
+        }
+    }
+}
+
+/// Line type distance `Dtl ∈ [0, 1]` — 0 for equal types, 0.5 for visually
+/// related types, 1 otherwise (the paper only requires "a value between 0
+/// and 1 based on tc₁ and tc₂"; see DESIGN.md §6).
+pub fn dtl(a: LineType, b: LineType) -> f64 {
+    use LineType::*;
+    if a == b {
+        return 0.0;
+    }
+    let related = matches!(
+        (a, b),
+        (Link, LinkText)
+            | (LinkText, Link)
+            | (Text, LinkText)
+            | (LinkText, Text)
+            | (Text, Heading)
+            | (Heading, Text)
+            | (Link, Heading)
+            | (Heading, Link)
+    );
+    if related {
+        0.5
+    } else {
+        1.0
+    }
+}
+
+/// Position-distance constant K (paper §4.3: `Dpl = K·log(1+|Δpc|)`,
+/// K = 0.127 "restricts Dpl to be between 0 and 1 in most cases").
+pub const POSITION_K: f64 = 0.127;
+
+/// Line position distance `Dpl`, clamped to `[0, 1]`.
+pub fn dpl(pc1: i32, pc2: i32) -> f64 {
+    (POSITION_K * (1.0 + (pc1 - pc2).abs() as f64).ln()).min(1.0)
+}
+
+/// A rendered content line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ContentLine {
+    /// 1-based line number on the page (paper step 1 assigns these).
+    pub number: usize,
+    /// Whitespace-collapsed visible text. Empty for Hr/Image/Blank lines.
+    pub text: String,
+    pub ltype: LineType,
+    /// Position code: left-most x coordinate on the simulated canvas.
+    pub pos: i32,
+    /// Line text attribute `la`: the set of text attributes on the line.
+    pub attrs: LineAttrs,
+    /// Compact tag path of the line's first viewable leaf.
+    pub path: CompactTagPath,
+    /// Viewable leaf nodes (text/img/form-control/hr) covered by the line,
+    /// in document order. Used to lift tag forests for records.
+    pub leaves: Vec<NodeId>,
+}
+
+impl ContentLine {
+    /// Line distance `Dline` (paper Formula 3) with weights `u = (u1,u2,u3)`
+    /// for type / position / text-attribute components.
+    pub fn distance(&self, other: &ContentLine, u: (f64, f64, f64)) -> f64 {
+        u.0 * dtl(self.ltype, other.ltype)
+            + u.1 * dpl(self.pos, other.pos)
+            + u.2 * dtal(&self.attrs, &other.attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_distance_table() {
+        assert_eq!(dtl(LineType::Text, LineType::Text), 0.0);
+        assert_eq!(dtl(LineType::Link, LineType::LinkText), 0.5);
+        assert_eq!(dtl(LineType::Text, LineType::Hr), 1.0);
+        // symmetry
+        for a in [
+            LineType::Text,
+            LineType::Link,
+            LineType::Image,
+            LineType::Heading,
+        ] {
+            for b in [
+                LineType::Text,
+                LineType::Link,
+                LineType::Image,
+                LineType::Heading,
+            ] {
+                assert_eq!(dtl(a, b), dtl(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn position_distance_monotone_and_bounded() {
+        assert_eq!(dpl(10, 10), POSITION_K * 1.0f64.ln()); // = 0
+        assert!(dpl(0, 5) < dpl(0, 50));
+        assert!(dpl(0, 100_000) <= 1.0);
+    }
+
+    #[test]
+    fn line_distance_weighted_sum() {
+        let mk = |ltype, pos| ContentLine {
+            number: 1,
+            text: "x".into(),
+            ltype,
+            pos,
+            attrs: LineAttrs::new(),
+            path: CompactTagPath::default(),
+            leaves: vec![],
+        };
+        let a = mk(LineType::Text, 0);
+        let b = mk(LineType::Link, 0);
+        // only the type component differs: weight 0.5 × distance 1.0
+        let d = a.distance(&b, (0.5, 0.3, 0.2));
+        assert!((d - 0.5).abs() < 1e-12);
+        let d = a.distance(&a, (0.5, 0.3, 0.2));
+        assert_eq!(d, 0.0);
+    }
+}

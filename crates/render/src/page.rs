@@ -1,0 +1,173 @@
+//! A rendered page: the DOM plus its content-line sequence, and the
+//! leaf-cover → tag-forest lifting used to attach tag structure to blocks.
+
+use crate::layout::render_lines;
+use crate::line::ContentLine;
+use mse_dom::{Dom, NodeId, NodeKind};
+use std::collections::HashSet;
+
+/// A parsed and rendered result page.
+#[derive(Clone, Debug)]
+pub struct RenderedPage {
+    pub dom: Dom,
+    pub lines: Vec<ContentLine>,
+}
+
+impl RenderedPage {
+    /// Parse + render HTML source.
+    pub fn from_html(html: &str) -> RenderedPage {
+        let dom = mse_dom::parse(html);
+        let lines = render_lines(&dom);
+        RenderedPage { dom, lines }
+    }
+
+    /// All viewable leaves covered by the line range `[start, end)`.
+    pub fn leaves_of_range(&self, start: usize, end: usize) -> Vec<NodeId> {
+        self.lines[start..end]
+            .iter()
+            .flat_map(|l| l.leaves.iter().copied())
+            .collect()
+    }
+
+    /// The tag forest (maximal covered DOM nodes) for the line range
+    /// `[start, end)` — the record's "underneath tag structure" (paper §4.1).
+    pub fn forest_of_range(&self, start: usize, end: usize) -> Vec<NodeId> {
+        cover_forest(&self.dom, &self.leaves_of_range(start, end))
+    }
+}
+
+/// Render an already-parsed DOM.
+pub fn render(dom: Dom) -> RenderedPage {
+    let lines = render_lines(&dom);
+    RenderedPage { dom, lines }
+}
+
+/// Is this node a viewable leaf (the units content lines are made of)?
+fn is_viewable_leaf(dom: &Dom, n: NodeId) -> bool {
+    match &dom[n].kind {
+        NodeKind::Text(t) => !t.trim().is_empty(),
+        NodeKind::Element { tag, .. } => matches!(
+            tag.as_str(),
+            "img" | "input" | "select" | "textarea" | "button" | "hr"
+        ),
+        _ => false,
+    }
+}
+
+/// Given a set of viewable leaves, compute the *cover forest*: the maximal
+/// DOM nodes all of whose viewable leaves belong to the set (and that
+/// contain at least one). This is how a block of content lines is lifted to
+/// the sub-forest the paper manipulates (records are sub-forests of the
+/// section's minimum subtree, §4.1).
+pub fn cover_forest(dom: &Dom, leaves: &[NodeId]) -> Vec<NodeId> {
+    let set: HashSet<NodeId> = leaves.iter().copied().collect();
+    if set.is_empty() {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    collect_cover(dom, dom.root(), &set, &mut out);
+    out
+}
+
+/// Returns (covered, has_leaf): `covered` = every viewable leaf in this
+/// subtree is in the set; `has_leaf` = the subtree has at least one
+/// viewable leaf. Appends maximal covered nodes to `out` in document order.
+fn cover_info(dom: &Dom, n: NodeId, set: &HashSet<NodeId>) -> (bool, bool) {
+    if is_viewable_leaf(dom, n) {
+        return (set.contains(&n), true);
+    }
+    let mut covered = true;
+    let mut has_leaf = false;
+    for c in dom.children(n) {
+        let (cc, cl) = cover_info(dom, c, set);
+        covered &= cc || !cl;
+        has_leaf |= cl;
+    }
+    (covered, has_leaf)
+}
+
+fn collect_cover(dom: &Dom, n: NodeId, set: &HashSet<NodeId>, out: &mut Vec<NodeId>) {
+    // The document scaffolding can never be a forest member — a record is
+    // always strictly inside <body>.
+    let scaffolding = matches!(&dom[n].kind, NodeKind::Document)
+        || matches!(dom[n].tag(), Some("html") | Some("head") | Some("body"));
+    if !scaffolding {
+        let (covered, has_leaf) = cover_info(dom, n, set);
+        if covered && has_leaf {
+            out.push(n);
+            return;
+        }
+        if !has_leaf {
+            return;
+        }
+    }
+    for c in dom.children(n).collect::<Vec<_>>() {
+        collect_cover(dom, c, set, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_html_end_to_end() {
+        let p = RenderedPage::from_html("<body><p>a</p><p>b</p></body>");
+        assert_eq!(p.lines.len(), 2);
+    }
+
+    #[test]
+    fn cover_forest_lifts_to_containers() {
+        let p = RenderedPage::from_html(
+            "<body><div><a href=1>t</a><br>snip</div><div>other</div></body>",
+        );
+        // Lines 0-1 are the first record: its cover forest is the first div.
+        let forest = p.forest_of_range(0, 2);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(p.dom[forest[0]].tag(), Some("div"));
+        assert_eq!(p.dom.text_of(forest[0]), "tsnip");
+    }
+
+    #[test]
+    fn cover_forest_partial_container_returns_leaves() {
+        let p = RenderedPage::from_html("<body><div>a<br>b<br>c</div></body>");
+        // Only the first line: div is NOT fully covered → forest is the text leaf.
+        let forest = p.forest_of_range(0, 1);
+        assert_eq!(forest.len(), 1);
+        assert!(p.dom[forest[0]].is_text());
+    }
+
+    #[test]
+    fn cover_forest_multiple_siblings() {
+        let p = RenderedPage::from_html(
+            "<body><ul><li>a</li><li>b</li><li>c</li></ul><p>after</p></body>",
+        );
+        // Lines of the three <li>: forest = the whole <ul>.
+        let forest = p.forest_of_range(0, 3);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(p.dom[forest[0]].tag(), Some("ul"));
+        // Lines of the first two <li> only: forest = those two li nodes.
+        let forest = p.forest_of_range(0, 2);
+        assert_eq!(forest.len(), 2);
+        assert!(forest.iter().all(|&n| p.dom[n].tag() == Some("li")));
+    }
+
+    #[test]
+    fn cover_forest_empty() {
+        let p = RenderedPage::from_html("<body><p>x</p></body>");
+        assert!(cover_forest(&p.dom, &[]).is_empty());
+    }
+
+    #[test]
+    fn empty_containers_do_not_block_cover() {
+        // An empty <td> between records must not prevent the row from being
+        // covered.
+        let p = RenderedPage::from_html(
+            "<body><table><tr><td>a</td><td></td><td>b</td></tr></table></body>",
+        );
+        let n = p.lines.len();
+        let forest = p.forest_of_range(0, n);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(p.dom[forest[0]].tag(), Some("table"));
+    }
+}

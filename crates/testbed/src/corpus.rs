@@ -1,0 +1,174 @@
+//! The full evaluation corpus: 119 engines × 10 pages, mirroring the
+//! paper's test bed (§6: 100 ViNTs dataset-2 engines of which 19 are
+//! multi-section, plus 19 extra multi-section engines → 38 multi / 81
+//! single), with 5 sample + 5 test pages per engine.
+
+use crate::spec::EngineSpec;
+use crate::truth::GeneratedPage;
+use serde::{Deserialize, Serialize};
+
+/// Corpus shape parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    pub seed: u64,
+    pub n_single: usize,
+    pub n_multi: usize,
+    pub pages_per_engine: usize,
+    /// The first `n_sample_pages` page indices are the training split.
+    pub n_sample_pages: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 2006,
+            n_single: 81,
+            n_multi: 38,
+            pages_per_engine: 10,
+            n_sample_pages: 5,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A reduced corpus for fast tests: same proportions, fewer engines.
+    pub fn small(seed: u64) -> CorpusConfig {
+        CorpusConfig {
+            seed,
+            n_single: 8,
+            n_multi: 4,
+            pages_per_engine: 10,
+            n_sample_pages: 5,
+        }
+    }
+}
+
+/// The generated corpus.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    pub config: CorpusConfig,
+    pub engines: Vec<EngineSpec>,
+}
+
+impl Corpus {
+    /// Generate deterministically from the config. Multi-section engines
+    /// come first (ids `0..n_multi`).
+    pub fn generate(config: CorpusConfig) -> Corpus {
+        let engines = (0..config.n_multi + config.n_single)
+            .map(|id| EngineSpec::with_profile(config.seed, id, id < config.n_multi))
+            .collect();
+        Corpus { config, engines }
+    }
+
+    /// Sample (training) pages of an engine.
+    pub fn sample_pages(&self, engine: &EngineSpec) -> Vec<GeneratedPage> {
+        (0..self.config.n_sample_pages)
+            .map(|q| engine.page(q))
+            .collect()
+    }
+
+    /// Held-out test pages of an engine.
+    pub fn test_pages(&self, engine: &EngineSpec) -> Vec<GeneratedPage> {
+        (self.config.n_sample_pages..self.config.pages_per_engine)
+            .map(|q| engine.page(q))
+            .collect()
+    }
+
+    /// Corpus-level ground-truth statistics (the paper's §2/§6 numbers we
+    /// calibrate against).
+    pub fn stats(&self) -> CorpusStats {
+        let mut s = CorpusStats {
+            engines: self.engines.len(),
+            multi_engines: self.engines.iter().filter(|e| e.multi).count(),
+            ..Default::default()
+        };
+        for e in &self.engines {
+            for q in 0..self.config.pages_per_engine {
+                let p = e.page(q);
+                s.pages += 1;
+                s.sections += p.truth.sections.len();
+                s.records += p.truth.total_records();
+                for gt in &p.truth.sections {
+                    let schema = e.sections.iter().find(|sc| sc.name == gt.schema);
+                    if let Some(schema) = schema {
+                        let has_lbm = !matches!(schema.header, crate::spec::HeaderStyle::None);
+                        let has_rbm = schema.more_rbm && gt.records.len() > 5;
+                        if has_lbm || has_rbm {
+                            s.sections_with_sbm += 1;
+                        }
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Ground-truth corpus statistics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CorpusStats {
+    pub engines: usize,
+    pub multi_engines: usize,
+    pub pages: usize,
+    pub sections: usize,
+    pub records: usize,
+    pub sections_with_sbm: usize,
+}
+
+impl CorpusStats {
+    pub fn sbm_fraction(&self) -> f64 {
+        if self.sections == 0 {
+            return 0.0;
+        }
+        self.sections_with_sbm as f64 / self.sections as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shape_matches_config() {
+        let c = Corpus::generate(CorpusConfig::small(1));
+        assert_eq!(c.engines.len(), 12);
+        assert_eq!(c.engines.iter().filter(|e| e.multi).count(), 4);
+        assert!(c.engines[..4].iter().all(|e| e.multi));
+        let e = &c.engines[0];
+        assert_eq!(c.sample_pages(e).len(), 5);
+        assert_eq!(c.test_pages(e).len(), 5);
+    }
+
+    #[test]
+    fn default_config_is_paper_shaped() {
+        let cfg = CorpusConfig::default();
+        assert_eq!(cfg.n_single + cfg.n_multi, 119);
+        assert_eq!(cfg.n_multi, 38);
+        assert_eq!(cfg.pages_per_engine, 10);
+    }
+
+    #[test]
+    fn stats_on_small_corpus() {
+        let c = Corpus::generate(CorpusConfig::small(7));
+        let s = c.stats();
+        assert_eq!(s.pages, 120);
+        // Every page has at least one section; multi engines average > 1.
+        assert!(s.sections >= s.pages);
+        assert!(s.records > s.sections);
+        // SBM coverage should be near the paper's 96.9%.
+        assert!(s.sbm_fraction() > 0.9, "sbm = {}", s.sbm_fraction());
+    }
+
+    #[test]
+    fn sample_and_test_pages_disjoint() {
+        let c = Corpus::generate(CorpusConfig::small(3));
+        let e = &c.engines[0];
+        let s = c.sample_pages(e);
+        let t = c.test_pages(e);
+        for sp in &s {
+            for tp in &t {
+                assert_ne!(sp.html, tp.html);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # mse-testbed
+//!
+//! Synthetic search-engine corpus generator with exact ground truth —
+//! the stand-in for the paper's unavailable 2006 test bed (119 real search
+//! engines × 10 manually-queried result pages). See DESIGN.md §3 for the
+//! substitution argument.
+//!
+//! Every engine is generated deterministically from `(seed, engine_id)`;
+//! every page from `(engine_seed, query_id)`. Pages exhibit the phenomena
+//! the paper's pipeline is built to handle: static chrome templates,
+//! semi-dynamic lines with dynamic components (match counts, query echo,
+//! "Click Here for More …"), multiple dynamic sections with *different*
+//! formats on the same page, sections that appear only for some queries
+//! (hidden sections), sections with 1–2 records, headerless sections,
+//! false-SBM traps ("Buy new: $…", "Phone: …"), static repeated-format
+//! navigation link lists, and non-sibling record structures.
+
+pub mod corpus;
+pub mod records;
+pub mod spec;
+pub mod truth;
+pub mod words;
+
+pub use corpus::{Corpus, CorpusConfig, CorpusStats};
+pub use records::{build_record, BuiltRecord, SectionStyle};
+pub use spec::{EngineSpec, HeaderStyle, SectionSchemaSpec};
+pub use truth::{GeneratedPage, GroundTruth, GtRecord, GtSection, HR_LINE, IMG_LINE};
+
+/// Capitalize a word (shared by record and spec generators).
+pub(crate) fn records_capitalize(w: &str) -> String {
+    let mut c = w.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}

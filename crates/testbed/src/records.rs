@@ -1,0 +1,409 @@
+//! Record and section-instance HTML builders.
+//!
+//! Every builder returns both the HTML fragment and the content-line texts
+//! the `mse-render` layouter will produce for it — the ground truth is
+//! *predicted*, and `tests/render_agreement.rs` verifies the prediction
+//! against the real renderer for the whole corpus.
+
+use crate::truth::{GtRecord, IMG_LINE};
+use crate::words::{pick, FILLER_WORDS, SOURCES, TOPIC_WORDS};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// The display format of a section (container + record template combined;
+/// the two are not independent in real pages).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SectionStyle {
+    /// `<table>`; record = one `<tr>` with a single `<td>` holding
+    /// title / snippet / url lines (the classic Google-era layout).
+    TableRowsLinkSnippet,
+    /// `<table>`; record = one `<tr>` with rank / title / date cells.
+    TableCellsRow,
+    /// Like [`SectionStyle::TableCellsRow`] but with a repeated
+    /// "Buy new: $…" cell — a deliberate false-SBM trap (paper §5.2 cites
+    /// Amazon's "Buy new: $XXX.XX").
+    PriceRows,
+    /// `<div>` per record with title / snippet.
+    DivRecords,
+    /// `<ol>/<li>` single-line records.
+    ListItems,
+    /// `<p>` per record: title / source+date / summary (news style).
+    NewsParagraphs,
+    /// `<div>` per record with a thumbnail image before the title.
+    ImageCaptionDivs,
+    /// `<div>` per record: name / address / phone ("Phone:" repeats —
+    /// another false-SBM trap).
+    DirectoryDivs,
+    /// `<div>` records wrapped pairwise in extra `<div class=pair>`s: the
+    /// record tag structures are NOT all siblings, the failure mode the
+    /// paper's §6 names for its own wrapper design.
+    PairedDivRecords,
+    /// `<table>`; record = a title `<tr>` followed by an *optional* snippet
+    /// `<tr>` — one record spans a variable number of same-tag siblings, a
+    /// classic 2006 layout that defeats naive per-tag separators.
+    TwoRowRecords,
+    /// `<dl>`; record = a `<dt>` title plus an optional `<dd>` description —
+    /// alternating same-parent tags, directory-service style.
+    DlRecords,
+}
+
+pub const ALL_STYLES: &[SectionStyle] = &[
+    SectionStyle::TableRowsLinkSnippet,
+    SectionStyle::TableCellsRow,
+    SectionStyle::PriceRows,
+    SectionStyle::DivRecords,
+    SectionStyle::ListItems,
+    SectionStyle::NewsParagraphs,
+    SectionStyle::ImageCaptionDivs,
+    SectionStyle::DirectoryDivs,
+    SectionStyle::TwoRowRecords,
+    SectionStyle::DlRecords,
+];
+
+impl SectionStyle {
+    /// Container opening markup (between the LBM and the first record).
+    pub fn open(&self) -> &'static str {
+        match self {
+            SectionStyle::TableRowsLinkSnippet => "<table width=\"96%\" cellpadding=\"2\">",
+            SectionStyle::TableCellsRow | SectionStyle::PriceRows => {
+                "<table width=\"96%\" cellspacing=\"1\">"
+            }
+            SectionStyle::TwoRowRecords => "<table width=\"96%\" cellpadding=\"1\">",
+            SectionStyle::DlRecords => "<dl>",
+            SectionStyle::DivRecords
+            | SectionStyle::ImageCaptionDivs
+            | SectionStyle::DirectoryDivs
+            | SectionStyle::PairedDivRecords => "<div class=\"results\">",
+            SectionStyle::ListItems => "<ol>",
+            SectionStyle::NewsParagraphs => "<div class=\"news\">",
+        }
+    }
+
+    pub fn close(&self) -> &'static str {
+        match self {
+            SectionStyle::TableRowsLinkSnippet
+            | SectionStyle::TableCellsRow
+            | SectionStyle::PriceRows
+            | SectionStyle::TwoRowRecords => "</table>",
+            SectionStyle::DivRecords
+            | SectionStyle::ImageCaptionDivs
+            | SectionStyle::DirectoryDivs
+            | SectionStyle::PairedDivRecords
+            | SectionStyle::NewsParagraphs => "</div>",
+            SectionStyle::ListItems => "</ol>",
+            SectionStyle::DlRecords => "</dl>",
+        }
+    }
+
+    /// True when the style nests pairs of records in extra wrappers.
+    pub fn non_sibling(&self) -> bool {
+        matches!(self, SectionStyle::PairedDivRecords)
+    }
+}
+
+/// A generated record: HTML plus predicted content lines.
+pub struct BuiltRecord {
+    pub html: String,
+    pub gt: GtRecord,
+}
+
+fn title<R: Rng>(rng: &mut R, query: &str, uid: &str) -> String {
+    format!(
+        "{} {} {} ({})",
+        capitalize(pick(rng, TOPIC_WORDS)),
+        pick(rng, FILLER_WORDS),
+        query,
+        uid
+    )
+}
+
+fn snippet<R: Rng>(rng: &mut R, query: &str) -> String {
+    format!(
+        "{} {} about {} with {} {} and {}",
+        capitalize(pick(rng, FILLER_WORDS)),
+        pick(rng, FILLER_WORDS),
+        query,
+        pick(rng, TOPIC_WORDS),
+        pick(rng, TOPIC_WORDS),
+        pick(rng, FILLER_WORDS),
+    )
+}
+
+fn date<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{}/{}/{}",
+        rng.random_range(1..=12),
+        rng.random_range(1..=28),
+        rng.random_range(1998..=2006)
+    )
+}
+
+fn capitalize(w: &str) -> String {
+    let mut c = w.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Build one record of the given style.
+///
+/// `site` is the engine's host name, `uid` a page-unique record id,
+/// `with_optional` controls the optional snippet/summary line (records
+/// within one section legitimately differ in it — paper Figure 1 shows
+/// records with and without description lines).
+pub fn build_record<R: Rng>(
+    style: SectionStyle,
+    rng: &mut R,
+    site: &str,
+    uid: &str,
+    query: &str,
+    with_optional: bool,
+) -> BuiltRecord {
+    let t = title(rng, query, uid);
+    match style {
+        SectionStyle::TableRowsLinkSnippet => {
+            let s = snippet(rng, query);
+            let url = format!("www.{site}/doc/{uid}.html");
+            let mut html = format!("<tr><td><a href=\"http://{url}\">{t}</a>");
+            let mut lines = vec![t];
+            if with_optional {
+                html.push_str(&format!("<br>{s}"));
+                lines.push(s);
+            }
+            html.push_str(&format!(
+                "<br><font color=\"green\" size=\"-1\">{url}</font></td></tr>"
+            ));
+            lines.push(url);
+            BuiltRecord {
+                html,
+                gt: GtRecord { lines },
+            }
+        }
+        SectionStyle::TableCellsRow => {
+            let d = date(rng);
+            let rank = format!("{}.", rng.random_range(1..=99));
+            let html = format!(
+                "<tr><td width=\"30\">{rank}</td><td><a href=\"http://www.{site}/item/{uid}\">{t}</a></td><td width=\"90\"><font size=\"-1\">{d}</font></td></tr>"
+            );
+            BuiltRecord {
+                html,
+                gt: GtRecord {
+                    lines: vec![rank, t, d],
+                },
+            }
+        }
+        SectionStyle::PriceRows => {
+            let p1 = format!(
+                "${}.{:02}",
+                rng.random_range(5..400),
+                rng.random_range(0..100)
+            );
+            let p2 = format!(
+                "Buy new: ${}.{:02}",
+                rng.random_range(5..400),
+                rng.random_range(0..100)
+            );
+            let html = format!(
+                "<tr><td><a href=\"http://www.{site}/p/{uid}\">{t}</a></td><td width=\"70\"><b>{p1}</b></td><td width=\"110\"><font color=\"#990000\">{p2}</font></td></tr>"
+            );
+            BuiltRecord {
+                html,
+                gt: GtRecord {
+                    lines: vec![t, p1, p2],
+                },
+            }
+        }
+        SectionStyle::DivRecords | SectionStyle::PairedDivRecords => {
+            let s = snippet(rng, query);
+            let mut html =
+                format!("<div class=\"rec\"><a href=\"http://www.{site}/doc/{uid}\">{t}</a>");
+            let mut lines = vec![t];
+            if with_optional {
+                html.push_str(&format!("<br><font size=\"-1\">{s}</font>"));
+                lines.push(s);
+            }
+            html.push_str("</div>");
+            BuiltRecord {
+                html,
+                gt: GtRecord { lines },
+            }
+        }
+        SectionStyle::ListItems => {
+            let s = snippet(rng, query);
+            let html = format!("<li><a href=\"http://www.{site}/doc/{uid}\">{t}</a> - {s}</li>");
+            BuiltRecord {
+                html,
+                gt: GtRecord {
+                    lines: vec![format!("{t} - {s}")],
+                },
+            }
+        }
+        SectionStyle::NewsParagraphs => {
+            let src = pick(rng, SOURCES).to_string();
+            let d = date(rng);
+            let s = snippet(rng, query);
+            let byline = format!("{src}, {d}");
+            let mut html =
+                format!("<p><a href=\"http://www.{site}/news/{uid}\">{t}</a><br><i>{byline}</i>");
+            let mut lines = vec![t, byline];
+            if with_optional {
+                html.push_str(&format!("<br>{s}"));
+                lines.push(s);
+            }
+            html.push_str("</p>");
+            BuiltRecord {
+                html,
+                gt: GtRecord { lines },
+            }
+        }
+        SectionStyle::ImageCaptionDivs => {
+            let s = snippet(rng, query);
+            let html = format!(
+                "<div class=\"rec\"><img src=\"/thumb/{uid}.jpg\" width=\"60\"> <a href=\"http://www.{site}/g/{uid}\">{t}</a><br>{s}</div>"
+            );
+            BuiltRecord {
+                html,
+                gt: GtRecord { lines: vec![t, s] },
+            }
+        }
+        SectionStyle::TwoRowRecords => {
+            let s = snippet(rng, query);
+            let mut html =
+                format!("<tr><td><a href=\"http://www.{site}/r/{uid}\">{t}</a></td></tr>");
+            let mut lines = vec![t];
+            if with_optional {
+                html.push_str(&format!(
+                    "<tr><td><font size=\"-1\" color=\"#555555\">{s}</font></td></tr>"
+                ));
+                lines.push(s);
+            }
+            BuiltRecord {
+                html,
+                gt: GtRecord { lines },
+            }
+        }
+        SectionStyle::DlRecords => {
+            let s = snippet(rng, query);
+            let mut html = format!("<dt><a href=\"http://www.{site}/e/{uid}\">{t}</a></dt>");
+            let mut lines = vec![t];
+            if with_optional {
+                html.push_str(&format!("<dd>{s}</dd>"));
+                lines.push(s);
+            }
+            BuiltRecord {
+                html,
+                gt: GtRecord { lines },
+            }
+        }
+        SectionStyle::DirectoryDivs => {
+            let addr = format!(
+                "{} {} Street, {}",
+                rng.random_range(10..999),
+                capitalize(pick(rng, TOPIC_WORDS)),
+                capitalize(pick(rng, TOPIC_WORDS))
+            );
+            let phone = format!(
+                "Phone: ({:03}) {:03}-{:04}",
+                rng.random_range(200..999),
+                rng.random_range(200..999),
+                rng.random_range(0..10000)
+            );
+            let html = format!(
+                "<div class=\"rec\"><a href=\"http://www.{site}/d/{uid}\"><b>{t}</b></a><br>{addr}<br><font size=\"-1\">{phone}</font></div>"
+            );
+            BuiltRecord {
+                html,
+                gt: GtRecord {
+                    lines: vec![t, addr, phone],
+                },
+            }
+        }
+    }
+}
+
+/// Lines a record's *rendered* form produces, with image-only lines mapped
+/// to the placeholder. (Currently no template renders an image-only line —
+/// thumbnails share the title line — but scorers must map them uniformly.)
+pub fn placeholder_note() -> &'static str {
+    IMG_LINE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_style_builds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &style in ALL_STYLES {
+            let r = build_record(
+                style,
+                &mut rng,
+                "site0.com",
+                "e0q0s0r0",
+                "knee injury",
+                true,
+            );
+            assert!(!r.html.is_empty());
+            assert!(!r.gt.lines.is_empty());
+            assert!(r.gt.lines.iter().all(|l| !l.is_empty()));
+        }
+    }
+
+    #[test]
+    fn optional_line_toggles() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let with = build_record(
+            SectionStyle::TableRowsLinkSnippet,
+            &mut rng,
+            "s.com",
+            "u1",
+            "q",
+            true,
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let without = build_record(
+            SectionStyle::TableRowsLinkSnippet,
+            &mut rng,
+            "s.com",
+            "u1",
+            "q",
+            false,
+        );
+        assert_eq!(with.gt.lines.len(), 3);
+        assert_eq!(without.gt.lines.len(), 2);
+    }
+
+    #[test]
+    fn uid_lands_in_title_line() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = build_record(
+            SectionStyle::DivRecords,
+            &mut rng,
+            "s.com",
+            "UNIQ42",
+            "q",
+            true,
+        );
+        assert!(r.gt.lines[0].contains("UNIQ42"));
+    }
+
+    #[test]
+    fn deterministic_for_same_rng_seed() {
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            build_record(
+                SectionStyle::NewsParagraphs,
+                &mut rng,
+                "s.com",
+                "u",
+                "q",
+                true,
+            )
+        };
+        assert_eq!(mk().html, mk().html);
+    }
+}

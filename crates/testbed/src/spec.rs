@@ -1,0 +1,452 @@
+//! Engine specifications and result-page generation.
+//!
+//! An [`EngineSpec`] is a concrete *result page schema* in the paper's §2
+//! sense: static chrome, semi-dynamic lines (match counts, query echo,
+//! "Click Here for More"), and an ordered list of section schemas with
+//! per-query appearance probabilities. Generating a page instantiates the
+//! schema for one query — exactly the paper's model of how a search
+//! engine's script program produces result pages.
+
+use crate::records::{build_record, SectionStyle, ALL_STYLES};
+use crate::truth::{GeneratedPage, GroundTruth, GtSection};
+use crate::words::{pick, ENGINE_NAME_A, ENGINE_NAME_B, QUERIES, SECTION_NAMES, TOPIC_WORDS};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How a section announces itself (its LBM, paper §4.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeaderStyle {
+    /// `<p><b><font color>NAME</font></b></p>`
+    BoldLine,
+    /// `<h3>NAME</h3>`
+    H3,
+    /// `<div class=hd><font color><b>NAME</b></font></div>`
+    ColoredDiv,
+    /// No explicit boundary marker (the paper's 200-engine survey found
+    /// 3.1% of sections lack one).
+    None,
+}
+
+/// One section schema of an engine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SectionSchemaSpec {
+    pub name: String,
+    pub style: SectionStyle,
+    pub header: HeaderStyle,
+    /// Emit a "Click Here for More …" RBM when the instance has > 5 records.
+    pub more_rbm: bool,
+    /// Render the more-link INSIDE the section container (as a final row /
+    /// item) instead of after it — common in 2006 layouts and a trap for
+    /// record partitioning.
+    pub more_inside: bool,
+    /// Probability the schema has an instance on a given page (< 1 produces
+    /// the paper's *hidden section* phenomenon).
+    pub appearance_prob: f64,
+    pub min_records: usize,
+    pub max_records: usize,
+    /// Per-record probability of carrying the optional snippet line.
+    pub optional_line_prob: f64,
+}
+
+/// A synthetic search engine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EngineSpec {
+    pub id: usize,
+    pub seed: u64,
+    pub name: String,
+    pub site: String,
+    /// More than one section schema?
+    pub multi: bool,
+    /// Render a left navigation column in a separate table cell.
+    pub two_column: bool,
+    /// Include a repeated-format static link list (an MRE trap that must be
+    /// discarded as static content, paper §5.3 Case 5).
+    pub nav_trap: bool,
+    /// Static nav link labels (fixed per engine so they are template
+    /// content across pages).
+    pub nav_labels: Vec<String>,
+    pub sections: Vec<SectionSchemaSpec>,
+}
+
+fn mix(seed: u64, salt: u64) -> u64 {
+    // splitmix64-style stateless mixing for independent substreams
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl EngineSpec {
+    /// Generate a standalone engine: multi-section iff `id % 3 == 0`.
+    pub fn generate(seed: u64, id: usize) -> EngineSpec {
+        Self::with_profile(seed, id, id.is_multiple_of(3))
+    }
+
+    /// Generate an engine with an explicit single/multi-section profile.
+    pub fn with_profile(seed: u64, id: usize, multi: bool) -> EngineSpec {
+        let eseed = mix(seed, id as u64 + 1);
+        let mut rng = StdRng::seed_from_u64(eseed);
+        let name = format!(
+            "{}{}",
+            pick(&mut rng, ENGINE_NAME_A),
+            pick(&mut rng, ENGINE_NAME_B)
+        );
+        let site = format!("{}{}.com", name.to_ascii_lowercase(), id);
+        let two_column = rng.random_bool(0.3);
+        let nav_trap = two_column || rng.random_bool(0.4);
+        let nav_labels: Vec<String> = {
+            let n = rng.random_range(4..=7);
+            let mut labels = Vec::new();
+            while labels.len() < n {
+                let w = crate::records_capitalize(pick(&mut rng, TOPIC_WORDS));
+                if !labels.contains(&w) {
+                    labels.push(w);
+                }
+            }
+            labels
+        };
+
+        let sections = if multi {
+            let k = rng.random_range(2..=5);
+            // ~40% of multi engines carry a RARE schema — one that appears
+            // on few pages, often on none of the five sample pages: the
+            // paper's *hidden section* phenomenon (§5.8).
+            let rare_last = rng.random_bool(0.4);
+            let mut names: Vec<&str> = Vec::new();
+            while names.len() < k {
+                let n = pick(&mut rng, SECTION_NAMES);
+                if !names.contains(&n) {
+                    names.push(n);
+                }
+            }
+            names
+                .into_iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    let style = random_style(&mut rng);
+                    SectionSchemaSpec {
+                        name: n.to_string(),
+                        style,
+                        header: random_header(&mut rng),
+                        more_rbm: rng.random_bool(0.7),
+                        more_inside: rng.random_bool(0.35),
+                        appearance_prob: if i == 0 {
+                            1.0
+                        } else if rare_last && i == k - 1 {
+                            0.15 + rng.random_range(0.0..0.2)
+                        } else {
+                            0.55 + rng.random_range(0.0..0.4)
+                        },
+                        min_records: 1,
+                        max_records: rng.random_range(4..=8),
+                        optional_line_prob: 0.75,
+                    }
+                })
+                .collect()
+        } else {
+            vec![SectionSchemaSpec {
+                name: "Web Results".to_string(),
+                style: random_style(&mut rng),
+                header: random_header(&mut rng),
+                more_rbm: rng.random_bool(0.7),
+                more_inside: rng.random_bool(0.35),
+                appearance_prob: 1.0,
+                min_records: 8,
+                max_records: 15,
+                optional_line_prob: 0.8,
+            }]
+        };
+
+        EngineSpec {
+            id,
+            seed: eseed,
+            name,
+            site,
+            multi,
+            two_column,
+            nav_trap,
+            nav_labels,
+            sections,
+        }
+    }
+
+    /// Generate the result page for query index `query_idx`.
+    pub fn page(&self, query_idx: usize) -> GeneratedPage {
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, 0xF00D + query_idx as u64));
+        let query = QUERIES[query_idx % QUERIES.len()].to_string();
+        let matches = rng.random_range(23..4096);
+
+        let mut body = String::new();
+        let mut truth = GroundTruth::default();
+
+        // --- static chrome (template) ---
+        body.push_str(&format!(
+            "<table width=\"100%\" bgcolor=\"#334466\"><tr><td><h1><font color=\"white\">{}</font></h1></td></tr></table>\n",
+            self.name
+        ));
+        body.push_str(&format!(
+            "<form action=\"/search\" method=\"get\"><input type=\"text\" name=\"q\" size=\"30\" value=\"{query}\"><input type=\"submit\" value=\"Search\"></form>\n"
+        ));
+        // --- semi-dynamic info line ---
+        body.push_str(&format!(
+            "<p>Your search for <b>{query}</b> returned {matches} matches.</p>\n"
+        ));
+
+        let nav_html = if self.nav_trap {
+            let mut nav = String::from("<div class=\"nav\"><b>Browse</b><br>");
+            for label in &self.nav_labels {
+                nav.push_str(&format!("<a href=\"/cat/{label}\">{label}</a><br>"));
+            }
+            nav.push_str("</div>");
+            nav
+        } else {
+            String::new()
+        };
+
+        // --- dynamic sections ---
+        let mut content = String::new();
+        for (si, schema) in self.sections.iter().enumerate() {
+            let present = schema.appearance_prob >= 1.0 || rng.random_bool(schema.appearance_prob);
+            if !present {
+                continue;
+            }
+            let n = rng.random_range(schema.min_records..=schema.max_records);
+            let mut gt = GtSection {
+                schema: schema.name.clone(),
+                records: Vec::new(),
+            };
+
+            match schema.header {
+                HeaderStyle::BoldLine => content.push_str(&format!(
+                    "<p><b><font color=\"#003366\">{}</font></b></p>\n",
+                    schema.name
+                )),
+                HeaderStyle::H3 => content.push_str(&format!("<h3>{}</h3>\n", schema.name)),
+                HeaderStyle::ColoredDiv => content.push_str(&format!(
+                    "<div class=\"hd\"><font color=\"#660000\"><b>{}</b></font></div>\n",
+                    schema.name
+                )),
+                HeaderStyle::None => {}
+            }
+
+            content.push_str(schema.style.open());
+            let mut pending_pair: Vec<String> = Vec::new();
+            for ri in 0..n {
+                let uid = format!("e{}q{}s{}r{}", self.id, query_idx, si, ri);
+                let with_optional = rng.random_bool(schema.optional_line_prob);
+                let rec = build_record(
+                    schema.style,
+                    &mut rng,
+                    &self.site,
+                    &uid,
+                    &query,
+                    with_optional,
+                );
+                if schema.style.non_sibling() {
+                    pending_pair.push(rec.html);
+                    if pending_pair.len() == 2 || ri + 1 == n {
+                        content.push_str(&format!(
+                            "<div class=\"pair\">{}</div>",
+                            pending_pair.join("")
+                        ));
+                        pending_pair.clear();
+                    }
+                } else {
+                    content.push_str(&rec.html);
+                }
+                content.push('\n');
+                gt.records.push(rec.gt);
+            }
+            let more = schema.more_rbm && n > 5;
+            if more && schema.more_inside {
+                content.push_str(&more_inside_html(schema.style, si, &schema.name));
+            }
+            content.push_str(schema.style.close());
+            content.push('\n');
+            if more && !schema.more_inside {
+                content.push_str(&format!(
+                    "<p><a href=\"/more?cat={si}\">Click Here for More {}</a></p>\n",
+                    schema.name
+                ));
+            }
+            truth.sections.push(gt);
+        }
+
+        if self.two_column {
+            body.push_str(&format!(
+                "<table width=\"100%\"><tr><td width=\"150\" valign=\"top\">{nav_html}</td><td valign=\"top\">{content}</td></tr></table>\n"
+            ));
+        } else {
+            body.push_str(&nav_html);
+            body.push('\n');
+            body.push_str(&content);
+        }
+
+        // --- semi-dynamic pagination + static footer ---
+        body.push_str(
+            "<p class=\"pager\">Result Page: <b>1</b> <a href=\"/p2\">2</a> <a href=\"/p3\">3</a> <a href=\"/p4\">4</a> <a href=\"/next\">Next</a></p>\n",
+        );
+        body.push_str(&format!(
+            "<hr><p><font size=\"-2\">Copyright 2006 {} Inc. | <a href=\"/about\">About</a> | <a href=\"/privacy\">Privacy Policy</a></font></p>\n",
+            self.name
+        ));
+
+        let html = format!(
+            "<html><head><title>{} - search results for {query}</title></head><body bgcolor=\"#ffffff\">\n{body}</body></html>",
+            self.name
+        );
+        GeneratedPage { html, truth, query }
+    }
+
+    /// Shortcut: page HTML only.
+    pub fn result_page_html(&self, query_idx: usize) -> String {
+        self.page(query_idx).html
+    }
+}
+
+/// The in-container form of the "Click Here for More" link, matching the
+/// container's child structure.
+fn more_inside_html(style: SectionStyle, si: usize, name: &str) -> String {
+    let link = format!("<a href=\"/more?cat={si}\">Click Here for More {name}</a>");
+    match style {
+        SectionStyle::TableRowsLinkSnippet
+        | SectionStyle::TableCellsRow
+        | SectionStyle::PriceRows
+        | SectionStyle::TwoRowRecords => {
+            format!("<tr><td colspan=\"3\" align=\"center\">{link}</td></tr>")
+        }
+        SectionStyle::ListItems => format!("<li>{link}</li>"),
+        SectionStyle::DlRecords => format!("<dt>{link}</dt>"),
+        SectionStyle::NewsParagraphs => format!("<p>{link}</p>"),
+        SectionStyle::DivRecords
+        | SectionStyle::ImageCaptionDivs
+        | SectionStyle::DirectoryDivs
+        | SectionStyle::PairedDivRecords => format!("<div class=\"more\">{link}</div>"),
+    }
+}
+
+fn random_style<R: Rng>(rng: &mut R) -> SectionStyle {
+    // Mostly the realistic formats; 5% of sections use the non-sibling
+    // PairedDivRecords structure the paper names as its own failure mode.
+    if rng.random_bool(0.05) {
+        SectionStyle::PairedDivRecords
+    } else {
+        ALL_STYLES[rng.random_range(0..ALL_STYLES.len())]
+    }
+}
+
+fn random_header<R: Rng>(rng: &mut R) -> HeaderStyle {
+    // ~3% of sections have no explicit SBM (paper §2: 96.9% have one).
+    let r: f64 = rng.random_range(0.0..1.0);
+    if r < 0.03 {
+        HeaderStyle::None
+    } else if r < 0.40 {
+        HeaderStyle::BoldLine
+    } else if r < 0.72 {
+        HeaderStyle::H3
+    } else {
+        HeaderStyle::ColoredDiv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_generation_deterministic() {
+        let a = EngineSpec::generate(2006, 5);
+        let b = EngineSpec::generate(2006, 5);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.sections.len(), b.sections.len());
+        let pa = a.page(0);
+        let pb = b.page(0);
+        assert_eq!(pa.html, pb.html);
+        assert_eq!(pa.truth, pb.truth);
+    }
+
+    #[test]
+    fn different_engines_differ() {
+        let a = EngineSpec::generate(2006, 1);
+        let b = EngineSpec::generate(2006, 2);
+        assert_ne!(a.page(0).html, b.page(0).html);
+    }
+
+    #[test]
+    fn single_engines_have_one_schema() {
+        let e = EngineSpec::with_profile(2006, 50, false);
+        assert_eq!(e.sections.len(), 1);
+        assert!((e.sections[0].appearance_prob - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn multi_engines_have_several_schemas() {
+        let e = EngineSpec::with_profile(2006, 0, true);
+        assert!(e.sections.len() >= 2);
+    }
+
+    #[test]
+    fn pages_vary_by_query() {
+        let e = EngineSpec::generate(2006, 3);
+        let p0 = e.page(0);
+        let p1 = e.page(1);
+        assert_ne!(p0.html, p1.html);
+        assert_ne!(p0.query, p1.query);
+    }
+
+    #[test]
+    fn ground_truth_nonempty_and_first_schema_always_present() {
+        for id in 0..20 {
+            let e = EngineSpec::generate(2006, id);
+            for q in 0..10 {
+                let p = e.page(q);
+                assert!(!p.truth.sections.is_empty(), "engine {id} page {q}");
+                assert_eq!(p.truth.sections[0].schema, e.sections[0].name);
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_sections_exist_somewhere() {
+        // Across multi engines, at least one schema must be absent on at
+        // least one page (the hidden-section phenomenon).
+        let mut saw_absent = false;
+        for id in 0..30 {
+            let e = EngineSpec::with_profile(2006, id, true);
+            for q in 0..10 {
+                let p = e.page(q);
+                if p.truth.sections.len() < e.sections.len() {
+                    saw_absent = true;
+                }
+            }
+        }
+        assert!(saw_absent);
+    }
+
+    #[test]
+    fn record_uids_unique_per_page() {
+        let e = EngineSpec::generate(2006, 9);
+        let p = e.page(2);
+        let mut keys: Vec<String> = p
+            .truth
+            .sections
+            .iter()
+            .flat_map(|s| s.records.iter().map(|r| r.key()))
+            .collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(before, keys.len());
+    }
+
+    #[test]
+    fn html_is_parseable_and_has_query_echo() {
+        let e = EngineSpec::generate(2006, 4);
+        let p = e.page(1);
+        let dom = mse_dom::parse(&p.html);
+        let text = dom.text_of(dom.root());
+        assert!(text.contains(&p.query));
+        assert!(text.contains("matches."));
+    }
+}

@@ -1,0 +1,99 @@
+//! Ground truth types.
+//!
+//! A generated page carries exact ground truth: the ordered list of dynamic
+//! sections and, per section, the ordered list of records. A record is
+//! identified by the sequence of content-line texts it renders to (the
+//! generator predicts the renderer's output; `tests/` in this crate verify
+//! the prediction against `mse-render`). Comparing extracted line ranges to
+//! ground truth therefore reduces to comparing text sequences — unique ids
+//! embedded in every record title make the match unambiguous.
+
+use serde::{Deserialize, Serialize};
+
+/// Placeholder text the renderer-side scorer substitutes for an image line.
+pub const IMG_LINE: &str = "[IMG]";
+/// Placeholder for an `<hr>` line.
+pub const HR_LINE: &str = "[HR]";
+
+/// One expected record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GtRecord {
+    /// Expected content-line texts, in order. Image-only lines appear as
+    /// [`IMG_LINE`], rules as [`HR_LINE`].
+    pub lines: Vec<String>,
+}
+
+impl GtRecord {
+    /// Canonical record key: joined line texts.
+    pub fn key(&self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+/// One expected dynamic section instance.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GtSection {
+    /// The section schema's stable name within its engine (e.g. "News").
+    pub schema: String,
+    pub records: Vec<GtRecord>,
+}
+
+/// Ground truth for a whole result page.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    pub sections: Vec<GtSection>,
+}
+
+impl GroundTruth {
+    pub fn total_records(&self) -> usize {
+        self.sections.iter().map(|s| s.records.len()).sum()
+    }
+}
+
+/// A generated result page: HTML plus its ground truth.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GeneratedPage {
+    pub html: String,
+    pub truth: GroundTruth,
+    /// The query string the page "answers" (used by DSE's clean_line).
+    pub query: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_key_joins_lines() {
+        let r = GtRecord {
+            lines: vec!["title".into(), "snippet".into()],
+        };
+        assert_eq!(r.key(), "title\nsnippet");
+    }
+
+    #[test]
+    fn total_records_sums_sections() {
+        let gt = GroundTruth {
+            sections: vec![
+                GtSection {
+                    schema: "a".into(),
+                    records: vec![GtRecord {
+                        lines: vec!["x".into()],
+                    }],
+                },
+                GtSection {
+                    schema: "b".into(),
+                    records: vec![
+                        GtRecord {
+                            lines: vec!["y".into()],
+                        },
+                        GtRecord {
+                            lines: vec!["z".into()],
+                        },
+                    ],
+                },
+            ],
+        };
+        assert_eq!(gt.total_records(), 3);
+    }
+}

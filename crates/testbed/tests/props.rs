@@ -1,0 +1,77 @@
+//! Property tests: the generator must be deterministic, structurally
+//! valid, and renderer-consistent for arbitrary seeds.
+
+use mse_render::{LineType, RenderedPage};
+use mse_testbed::{EngineSpec, HR_LINE, IMG_LINE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Determinism across independent generations.
+    #[test]
+    fn engine_and_pages_deterministic(seed in any::<u64>(), id in 0usize..200, q in 0usize..10) {
+        let a = EngineSpec::generate(seed, id);
+        let b = EngineSpec::generate(seed, id);
+        prop_assert_eq!(&a.name, &b.name);
+        let pa = a.page(q);
+        let pb = b.page(q);
+        prop_assert_eq!(pa.html, pb.html);
+        prop_assert_eq!(pa.truth, pb.truth);
+    }
+
+    /// Every generated page parses, renders, and its ground-truth records
+    /// appear as consecutive rendered lines in order.
+    #[test]
+    fn ground_truth_always_renderer_consistent(seed in any::<u64>(), id in 0usize..60) {
+        let engine = EngineSpec::generate(seed, id);
+        for q in [0usize, 4, 9] {
+            let page = engine.page(q);
+            let rendered = RenderedPage::from_html(&page.html);
+            let texts: Vec<String> = rendered
+                .lines
+                .iter()
+                .map(|l| match l.ltype {
+                    LineType::Hr => HR_LINE.to_string(),
+                    LineType::Image if l.text.is_empty() => IMG_LINE.to_string(),
+                    _ => l.text.clone(),
+                })
+                .collect();
+            let mut cursor = 0usize;
+            for section in &page.truth.sections {
+                for record in &section.records {
+                    prop_assert!(!record.lines.is_empty());
+                    let found = (cursor..=texts.len().saturating_sub(record.lines.len()))
+                        .find(|&i| record.lines.iter().enumerate().all(|(k, l)| texts[i + k] == *l));
+                    match found {
+                        Some(i) => cursor = i + record.lines.len(),
+                        None => {
+                            return Err(TestCaseError::fail(format!(
+                                "seed {seed} engine {id} page {q}: record {:?} not in render",
+                                record.lines
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Schema invariants: first schema always present, probabilities valid,
+    /// record-count ranges sane.
+    #[test]
+    fn schema_invariants(seed in any::<u64>(), id in 0usize..200) {
+        let engine = EngineSpec::generate(seed, id);
+        prop_assert!(!engine.sections.is_empty());
+        prop_assert!((engine.sections[0].appearance_prob - 1.0).abs() < f64::EPSILON);
+        for s in &engine.sections {
+            prop_assert!(s.appearance_prob > 0.0 && s.appearance_prob <= 1.0);
+            prop_assert!(s.min_records >= 1 && s.min_records <= s.max_records);
+        }
+        if !engine.multi {
+            prop_assert_eq!(engine.sections.len(), 1);
+        } else {
+            prop_assert!(engine.sections.len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The ground-truth contract: the generator *predicts* the content lines
+//! each record will render to; this test verifies the prediction against
+//! the real `mse-render` layouter across a whole corpus. Every predicted
+//! record must appear as a consecutive run of content lines, in order,
+//! without overlaps.
+
+use mse_render::{LineType, RenderedPage};
+use mse_testbed::{Corpus, CorpusConfig, HR_LINE, IMG_LINE};
+
+/// Map a rendered line to its ground-truth text form.
+fn gt_text(line: &mse_render::ContentLine) -> String {
+    match line.ltype {
+        LineType::Hr => HR_LINE.to_string(),
+        LineType::Image if line.text.is_empty() => IMG_LINE.to_string(),
+        _ => line.text.clone(),
+    }
+}
+
+#[test]
+fn ground_truth_lines_match_renderer_across_corpus() {
+    let corpus = Corpus::generate(CorpusConfig::small(11));
+    let mut checked_records = 0usize;
+    for engine in &corpus.engines {
+        for q in 0..corpus.config.pages_per_engine {
+            let page = engine.page(q);
+            let rendered = RenderedPage::from_html(&page.html);
+            let texts: Vec<String> = rendered.lines.iter().map(gt_text).collect();
+
+            let mut cursor = 0usize;
+            for section in &page.truth.sections {
+                for record in &section.records {
+                    // Find the record's line sequence at or after `cursor`.
+                    let found =
+                        (cursor..texts.len().saturating_sub(record.lines.len() - 1)).find(|&i| {
+                            record
+                                .lines
+                                .iter()
+                                .enumerate()
+                                .all(|(k, l)| texts[i + k] == *l)
+                        });
+                    match found {
+                        Some(i) => {
+                            cursor = i + record.lines.len();
+                            checked_records += 1;
+                        }
+                        None => panic!(
+                            "engine {} page {q}: record not found in rendered lines\n\
+                             expected lines: {:?}\nrendered tail: {:?}",
+                            engine.id,
+                            record.lines,
+                            &texts[cursor.min(texts.len())..texts.len().min(cursor + 12)]
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        checked_records > 500,
+        "only {checked_records} records checked"
+    );
+}
+
+#[test]
+fn records_do_not_share_lines_with_chrome() {
+    // Every record line should be distinct from any line appearing before
+    // the first section (chrome/info lines) — a sanity check that the
+    // generator's unique ids keep records unambiguous.
+    let corpus = Corpus::generate(CorpusConfig::small(13));
+    let engine = &corpus.engines[0];
+    let page = engine.page(0);
+    let rendered = RenderedPage::from_html(&page.html);
+    let texts: Vec<String> = rendered.lines.iter().map(gt_text).collect();
+    for section in &page.truth.sections {
+        for record in &section.records {
+            let occurrences = texts.iter().filter(|t| **t == record.lines[0]).count();
+            assert_eq!(
+                occurrences, 1,
+                "title line duplicated: {:?}",
+                record.lines[0]
+            );
+        }
+    }
+}

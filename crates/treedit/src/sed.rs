@@ -1,0 +1,149 @@
+//! String edit distance with pluggable substitution cost.
+
+/// Generic string edit distance between two sequences.
+///
+/// Insertions and deletions cost 1; substituting `a[i]` with `b[j]` costs
+/// `sub(&a[i], &b[j])`, which should be in `[0, 2]` for the triangle
+/// inequality to hold (0 = identical, up to delete+insert = 2).
+pub fn string_edit_distance<T, F>(a: &[T], b: &[T], sub: F) -> f64
+where
+    F: FnMut(&T, &T) -> f64,
+{
+    string_edit_distance_with(a, b, sub, 1.0)
+}
+
+/// String edit distance with an explicit insertion/deletion cost.
+///
+/// A sub-unit `indel` (e.g. 0.5) models benign length variance — records in
+/// one section legitimately differ by an optional snippet line, and charging
+/// a full unit for it would make such records look as different as records
+/// with genuinely conflicting lines.
+pub fn string_edit_distance_with<T, F>(a: &[T], b: &[T], mut sub: F, indel: f64) -> f64
+where
+    F: FnMut(&T, &T) -> f64,
+{
+    if a.is_empty() {
+        return b.len() as f64 * indel;
+    }
+    if b.is_empty() {
+        return a.len() as f64 * indel;
+    }
+    let n = b.len();
+    let mut prev: Vec<f64> = (0..=n).map(|j| j as f64 * indel).collect();
+    let mut cur = vec![0.0f64; n + 1];
+    for (i, ai) in a.iter().enumerate() {
+        cur[0] = (i + 1) as f64 * indel;
+        for (j, bj) in b.iter().enumerate() {
+            let del = prev[j + 1] + indel;
+            let ins = cur[j] + indel;
+            let rep = prev[j] + sub(ai, bj);
+            cur[j + 1] = del.min(ins).min(rep);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Edit distance normalized by the longer sequence length (0 when both are
+/// empty). With a substitution cost bounded by 1 the result is in `[0, 1]`.
+pub fn string_edit_distance_norm<T, F>(a: &[T], b: &[T], sub: F) -> f64
+where
+    F: FnMut(&T, &T) -> f64,
+{
+    let m = a.len().max(b.len());
+    if m == 0 {
+        return 0.0;
+    }
+    string_edit_distance(a, b, sub) / m as f64
+}
+
+/// Normalized edit distance with an explicit indel cost (see
+/// [`string_edit_distance_with`]).
+pub fn string_edit_distance_norm_with<T, F>(a: &[T], b: &[T], sub: F, indel: f64) -> f64
+where
+    F: FnMut(&T, &T) -> f64,
+{
+    let m = a.len().max(b.len());
+    if m == 0 {
+        return 0.0;
+    }
+    string_edit_distance_with(a, b, sub, indel) / m as f64
+}
+
+/// Plain Levenshtein distance over `Eq` items (substitution cost 1).
+pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    string_edit_distance(a, b, |x, y| if x == y { 0.0 } else { 1.0 }).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lev_str(a: &str, b: &str) -> usize {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        levenshtein(&av, &bv)
+    }
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(lev_str("kitten", "sitting"), 3);
+        assert_eq!(lev_str("", "abc"), 3);
+        assert_eq!(lev_str("abc", ""), 3);
+        assert_eq!(lev_str("abc", "abc"), 0);
+        assert_eq!(lev_str("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn fractional_substitution_cost() {
+        let a = [1, 2, 3];
+        let b = [1, 9, 3];
+        let d = string_edit_distance(&a, &b, |x, y| if x == y { 0.0 } else { 0.25 });
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_bounds() {
+        let a: Vec<char> = "hello".chars().collect();
+        let b: Vec<char> = "world".chars().collect();
+        let d = string_edit_distance_norm(&a, &b, |x, y| if x == y { 0.0 } else { 1.0 });
+        assert!((0.0..=1.0).contains(&d));
+        let e: Vec<char> = vec![];
+        assert_eq!(string_edit_distance_norm(&e, &e, |_, _| 0.0), 0.0);
+    }
+
+    #[test]
+    fn substitution_preferred_over_indel_when_cheaper() {
+        // sub cost 0.5 < delete+insert (2.0)
+        let a = [1];
+        let b = [2];
+        let d = string_edit_distance(&a, &b, |_, _| 0.5);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            prop_assert_eq!(lev_str(&a, &b), lev_str(&b, &a));
+        }
+
+        #[test]
+        fn identity(a in "[a-c]{0,12}") {
+            prop_assert_eq!(lev_str(&a, &a), 0);
+        }
+
+        #[test]
+        fn triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+            prop_assert!(lev_str(&a, &c) <= lev_str(&a, &b) + lev_str(&b, &c));
+        }
+
+        #[test]
+        fn bounded_by_longer(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            let la = a.chars().count();
+            let lb = b.chars().count();
+            prop_assert!(lev_str(&a, &b) <= la.max(lb));
+            prop_assert!(lev_str(&a, &b) >= la.abs_diff(lb));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Deep-web crawling: the second application the paper motivates ("data in
+//! the deep web are largely hidden behind the search interfaces of deep
+//! web search systems").
+//!
+//! A crawler learns one wrapper per engine, then harvests *records* (not
+//! pages) across many queries, deduplicating by record key and keeping the
+//! per-engine / per-section provenance that MSE preserves.
+//!
+//! ```sh
+//! cargo run --release --example deep_web_crawl
+//! ```
+
+use mse::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let corpus = Corpus::generate(CorpusConfig::small(42));
+    let cfg = mse::core::MseConfig::default();
+
+    let mut harvested: BTreeMap<String, (String, usize)> = BTreeMap::new(); // key -> (engine, section idx)
+    let mut pages_crawled = 0usize;
+    let mut engines_wrapped = 0usize;
+
+    for engine in &corpus.engines {
+        let samples: Vec<(String, String)> = corpus
+            .sample_pages(engine)
+            .into_iter()
+            .map(|p| (p.html, p.query))
+            .collect();
+        let refs: Vec<(&str, Option<&str>)> = samples
+            .iter()
+            .map(|(h, q)| (h.as_str(), Some(q.as_str())))
+            .collect();
+        let Ok(wrappers) = Mse::new(cfg.clone()).build_with_queries(&refs) else {
+            println!("  {} — wrapper construction failed, skipping", engine.name);
+            continue;
+        };
+        engines_wrapped += 1;
+
+        // Crawl: issue every query the test bed knows and harvest records.
+        for q in 0..corpus.config.pages_per_engine {
+            let page = engine.page(q);
+            pages_crawled += 1;
+            let ex = wrappers.extract_with_query(&page.html, Some(&page.query));
+            for (s_idx, section) in ex.sections.iter().enumerate() {
+                for record in &section.records {
+                    harvested
+                        .entry(record.lines.join("\n"))
+                        .or_insert_with(|| (engine.name.clone(), s_idx));
+                }
+            }
+        }
+    }
+
+    println!(
+        "\ncrawled {pages_crawled} result pages from {engines_wrapped} engines → {} unique records",
+        harvested.len()
+    );
+    let mut by_engine: BTreeMap<&str, usize> = BTreeMap::new();
+    for (engine, _) in harvested.values() {
+        *by_engine.entry(engine.as_str()).or_insert(0) += 1;
+    }
+    println!("records per engine:");
+    for (engine, n) in by_engine {
+        println!("  {engine:<20} {n}");
+    }
+    assert!(harvested.len() > 100, "deep-web crawl harvested too little");
+}

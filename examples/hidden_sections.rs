@@ -1,0 +1,98 @@
+//! Hidden sections: the paper's §5.8 headline capability.
+//!
+//! A section schema that never produced an instance on the sample pages
+//! ("hidden") cannot have a concrete wrapper — but if other schemas share
+//! its record structure, the learned *section family* recognizes it on
+//! test pages by its structure and boundary-marker text attributes.
+//!
+//! This example scans the test bed for cases where a schema is absent
+//! from all five sample pages yet present on a test page, and reports how
+//! often the family machinery recovers it.
+//!
+//! ```sh
+//! cargo run --release --example hidden_sections
+//! ```
+
+use mse::core::SchemaId;
+use mse::prelude::*;
+
+fn main() {
+    let corpus = Corpus::generate(CorpusConfig::default());
+    let cfg = mse::core::MseConfig::default();
+
+    let mut hidden_cases = 0usize;
+    let mut recovered = 0usize;
+    let mut shown = 0usize;
+
+    for engine in corpus.engines.iter().filter(|e| e.multi) {
+        let sample_pages = corpus.sample_pages(engine);
+        // Which schemas never appear on the sample split?
+        // Hidden = absent from every sample page; dangling = present on
+        // exactly one (also unlearnable as a concrete wrapper: grouping
+        // certifies an instance only when it matches on another page).
+        let seen: Vec<&str> = sample_pages
+            .iter()
+            .flat_map(|p| p.truth.sections.iter().map(|s| s.schema.as_str()))
+            .collect();
+        let hidden: Vec<&str> = engine
+            .sections
+            .iter()
+            .map(|s| s.name.as_str())
+            .filter(|n| seen.iter().filter(|x| x == &n).count() <= 1)
+            .collect();
+        if hidden.is_empty() {
+            continue;
+        }
+
+        let inputs: Vec<(String, String)> = sample_pages
+            .iter()
+            .map(|p| (p.html.clone(), p.query.clone()))
+            .collect();
+        let refs: Vec<(&str, Option<&str>)> = inputs
+            .iter()
+            .map(|(h, q)| (h.as_str(), Some(q.as_str())))
+            .collect();
+        let Ok(wrappers) = Mse::new(cfg.clone()).build_with_queries(&refs) else {
+            continue;
+        };
+
+        for page in corpus.test_pages(engine) {
+            for (gt_idx, gt) in page.truth.sections.iter().enumerate() {
+                if !hidden.contains(&gt.schema.as_str()) {
+                    continue;
+                }
+                hidden_cases += 1;
+                let ex = wrappers.extract_with_query(&page.html, Some(&page.query));
+                // Did any extracted section reproduce the hidden section's
+                // records?
+                let keys: Vec<String> = gt.records.iter().map(|r| r.key()).collect();
+                let hit = ex.sections.iter().find(|s| {
+                    let got: Vec<String> = s.records.iter().map(|r| r.lines.join("\n")).collect();
+                    keys.iter().filter(|k| got.contains(k)).count() * 2 > keys.len()
+                });
+                if let Some(hit) = hit {
+                    recovered += 1;
+                    if shown < 3 {
+                        shown += 1;
+                        println!(
+                            "engine {:<3} {:<14} hidden schema {:?} (section #{gt_idx}) recovered via {:?} with {} record(s)",
+                            engine.id, engine.name, gt.schema, hit.schema, hit.records.len()
+                        );
+                        assert!(
+                            matches!(hit.schema, SchemaId::Family(_))
+                                || matches!(hit.schema, SchemaId::Wrapper(_)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "\nhidden-section instances on test pages: {hidden_cases}; recovered: {recovered} ({:.0}%)",
+        100.0 * recovered as f64 / hidden_cases.max(1) as f64
+    );
+    println!(
+        "(recovery requires another schema with the same record structure — the family condition)"
+    );
+}

@@ -1,0 +1,77 @@
+//! Metasearch: the application class the paper's introduction motivates.
+//!
+//! A metasearch engine forwards one query to several component search
+//! engines, extracts the search result records from every returned page,
+//! and merges them into a single ranked list. Because MSE preserves the
+//! section→record relationship, the merger can treat sections differently
+//! — here, records from "Sponsored Links"-style sections are demoted.
+//!
+//! ```sh
+//! cargo run --release --example metasearch
+//! ```
+
+use mse::core::SchemaId;
+use mse::prelude::*;
+
+struct Component {
+    engine: EngineSpec,
+    wrappers: SectionWrapperSet,
+}
+
+fn main() {
+    // Wrap three synthetic engines (offline stand-ins for HTTP fetches).
+    let mut components = Vec::new();
+    for id in [0usize, 6, 11] {
+        let engine = EngineSpec::generate(7_2006, id);
+        let samples: Vec<(String, String)> = (0..5)
+            .map(|q| {
+                let p = engine.page(q);
+                (p.html, p.query)
+            })
+            .collect();
+        let inputs: Vec<(&str, Option<&str>)> = samples
+            .iter()
+            .map(|(h, q)| (h.as_str(), Some(q.as_str())))
+            .collect();
+        match Mse::new(MseConfig::default()).build_with_queries(&inputs) {
+            Ok(wrappers) => {
+                println!(
+                    "wrapped {:<18} {} section wrapper(s), {} family(ies)",
+                    engine.name,
+                    wrappers.wrappers.len(),
+                    wrappers.families.len()
+                );
+                components.push(Component { engine, wrappers });
+            }
+            Err(e) => println!("skipping {}: {e}", engine.name),
+        }
+    }
+
+    // "Issue" the same query index to every component and merge.
+    let query_idx = 8;
+    let mut merged: Vec<(f64, String, String)> = Vec::new(); // (score, engine, title)
+    for c in &components {
+        let page = c.engine.page(query_idx);
+        let extraction = c.wrappers.extract_with_query(&page.html, Some(&page.query));
+        for (s_idx, section) in extraction.sections.iter().enumerate() {
+            // Section-aware policy: demote records from later sections and
+            // from family-matched (less certain) sections.
+            let section_weight = match section.schema {
+                SchemaId::Wrapper(_) => 1.0,
+                SchemaId::Family(_) => 0.8,
+            } / (1.0 + s_idx as f64 * 0.3);
+            for (r_idx, record) in section.records.iter().enumerate() {
+                let rank_score = section_weight / (1.0 + r_idx as f64);
+                let title = record.lines.first().cloned().unwrap_or_default();
+                merged.push((rank_score, c.engine.name.clone(), title));
+            }
+        }
+    }
+    merged.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    println!("\nmerged result list (top 10 of {}):", merged.len());
+    for (score, engine, title) in merged.iter().take(10) {
+        println!("  {score:.3}  [{engine}] {title}");
+    }
+    assert!(!merged.is_empty(), "metasearch produced no records");
+}

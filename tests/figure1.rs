@@ -1,0 +1,195 @@
+//! The paper's Figure 1 — "Part of a sample result page with multiple
+//! sections from healthcentral.com" — rebuilt as HTML and run through the
+//! pipeline. The page has four dynamic sections of different sizes
+//! (Encyclopedia ×5, Dr. Dean Edell ×1, News ×5, Peoples Pharmacy ×2),
+//! bold section headers as LBMs, "Click Here for More" RBMs on the large
+//! sections, and a semi-dynamic "Your search returned N matches." line —
+//! the exact constellation the paper opens with.
+
+use mse::core::{Mse, MseConfig};
+
+/// One record in the Figure-1 style: numbered title link, date in the
+/// title, optional description line.
+fn record(n: usize, title: &str, tag: &str, date: &str, desc: Option<&str>) -> String {
+    let mut html = format!(
+        "<tr><td width=\"24\">{n}.</td><td><a href=\"/item/{tag}/{n}\">{title} --{tag}-- ({date})</a>"
+    );
+    if let Some(d) = desc {
+        html.push_str(&format!("<br><font size=\"-1\">{d}</font>"));
+    }
+    html.push_str("</td></tr>");
+    html
+}
+
+fn section(name: &str, records: &[String], more: bool) -> String {
+    let mut html = format!("<p><b>{name}</b></p><table width=\"95%\">");
+    for r in records {
+        html.push_str(r);
+    }
+    html.push_str("</table>");
+    if more {
+        html.push_str("<p><a href=\"/more\">Click Here for More</a></p>");
+    }
+    html
+}
+
+/// Build a Figure-1-shaped page for one "query".
+fn figure1_page(query: &str, matches: usize, seed: usize) -> String {
+    let titles = [
+        "Knee Injury",
+        "Ultrasound in Obstetrics",
+        "Lupus and Pregnancy",
+        "Colic",
+        "Lymphoma",
+        "We Are Still Too Fat, Again",
+        "AMA Guides Doctors on Older Drivers",
+        "Mental Illness Strikes Babies, Too",
+        "Eating Pyramid Style",
+        "Guided Lasers Help Treat Uterine Fibroids",
+        "Panel: Cut Salt, Let Thirst Be Water Guide",
+        "Antidepressant Can Raise Cholesterol",
+        "Another Fish Oil Tale Of Gray Hair Gone",
+        "Migraine Watch",
+        "Sleep and Memory",
+        "Allergy Season Arrives",
+        "Vitamin D Update",
+    ];
+    // Titles are query-specific, as on a real result page — identical
+    // titles recurring across sample pages would (correctly) be treated as
+    // template content by DSE.
+    let t = |i: usize| format!("{} on {query}", titles[(seed * 3 + i) % titles.len()]);
+    let d = |i: usize| format!("notes about {query} number {}", i + seed);
+
+    let enc: Vec<String> = (0..5)
+        .map(|i| {
+            record(
+                i + 1,
+                &t(i),
+                "Encyclopedia",
+                "4/10/2002 1:07:00 PM",
+                Some(&d(i)),
+            )
+        })
+        .collect();
+    let dean: Vec<String> = vec![record(1, &t(5), "Dr. Dean", "3/9/2004", None)];
+    let news: Vec<String> = (0..5)
+        .map(|i| {
+            let desc = d(6 + i);
+            let desc = if i % 2 == 1 {
+                Some(desc.as_str())
+            } else {
+                None
+            };
+            record(i + 1, &t(6 + i), "News", "7/30/2003", desc)
+        })
+        .collect();
+    let pharm: Vec<String> = (0..2)
+        .map(|i| record(i + 1, &t(11 + i), "People's Pharmacy", "12/1/2003", None))
+        .collect();
+
+    format!(
+        "<html><head><title>HealthCentral search</title></head><body>\
+         <h1>HealthCentral</h1>\
+         <form action=\"/search\"><input type=text name=q value=\"{query}\"><input type=submit value=Search></form>\
+         <p>Your search returned {matches} matches.</p>\
+         {}{}{}{}\
+         <hr><p>Copyright 2004 HealthCentral</p></body></html>",
+        section("Encyclopedia", &enc, true),
+        section("Dr. Dean Edell", &dean, false),
+        section("News", &news, true),
+        section("Peoples Pharmacy", &pharm, false),
+    )
+}
+
+#[test]
+fn figure1_sections_and_records_extracted() {
+    let samples = [
+        (figure1_page("knee injury", 578, 0), "knee injury"),
+        (figure1_page("lupus", 89, 1), "lupus"),
+        (figure1_page("colic", 231, 2), "colic"),
+    ];
+    let refs: Vec<(&str, Option<&str>)> = samples
+        .iter()
+        .map(|(h, q)| (h.as_str(), Some(*q)))
+        .collect();
+    let ws = Mse::new(MseConfig::default())
+        .build_with_queries(&refs)
+        .expect("wrapper construction on the Figure 1 layout");
+
+    // An unseen page.
+    let page = figure1_page("migraine", 42, 4);
+    let ex = ws.extract_with_query(&page, Some("migraine"));
+
+    assert_eq!(
+        ex.sections.len(),
+        4,
+        "Figure 1 has four dynamic sections; got {:?}",
+        ex.sections
+            .iter()
+            .map(|s| (s.schema, s.records.len()))
+            .collect::<Vec<_>>()
+    );
+    let counts: Vec<usize> = ex.sections.iter().map(|s| s.records.len()).collect();
+    assert_eq!(
+        counts,
+        vec![5, 1, 5, 2],
+        "Encyclopedia/Dean/News/Pharmacy record counts"
+    );
+
+    // The section-record relationship: Dr. Dean Edell's single record is
+    // its own section (the ≥2-record limitation of prior work is the
+    // paper's headline fix).
+    let dean = &ex.sections[1];
+    assert_eq!(dean.records.len(), 1);
+    assert!(
+        dean.records[0].lines.join(" ").contains("--Dr. Dean--"),
+        "{:?}",
+        dean.records[0].lines
+    );
+
+    // No chrome leaked into any record.
+    for sec in &ex.sections {
+        for rec in &sec.records {
+            let text = rec.lines.join(" ");
+            assert!(!text.contains("Copyright"), "footer leaked: {text}");
+            assert!(
+                !text.contains("Your search returned"),
+                "info line leaked: {text}"
+            );
+            assert!(!text.contains("Click Here"), "RBM leaked: {text}");
+        }
+    }
+}
+
+#[test]
+fn figure1_sections_have_all_same_tag_structure() {
+    // The paper's §2 point about this page: "all sections on this page
+    // have exactly the same tag structures — without considering the SBMs,
+    // correctly extracting these sections would be very difficult". Verify
+    // our extraction is indeed SBM-driven by checking the four wrappers
+    // learned distinct boundary-marker texts.
+    let samples = [
+        (figure1_page("knee injury", 578, 0), "knee injury"),
+        (figure1_page("lupus", 89, 1), "lupus"),
+    ];
+    let refs: Vec<(&str, Option<&str>)> = samples
+        .iter()
+        .map(|(h, q)| (h.as_str(), Some(*q)))
+        .collect();
+    let ws = Mse::new(MseConfig::default())
+        .build_with_queries(&refs)
+        .expect("build");
+    let mut lbms: Vec<String> = ws
+        .wrappers
+        .iter()
+        .flat_map(|w| w.lbms.iter().cloned())
+        .collect();
+    lbms.sort();
+    lbms.dedup();
+    for expected in ["Encyclopedia", "Dr. Dean Edell", "News", "Peoples Pharmacy"] {
+        assert!(
+            lbms.iter().any(|l| l == expected),
+            "missing LBM {expected:?} in {lbms:?}"
+        );
+    }
+}

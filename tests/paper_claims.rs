@@ -1,0 +1,191 @@
+//! The paper's headline capability claims, pinned as executable tests.
+
+use mse::baselines::{mdr_extract, MdrConfig};
+use mse::core::{Mse, MseConfig, SchemaId};
+use mse::eval::score_page;
+use mse::testbed::{Corpus, CorpusConfig};
+
+/// Build a wrapper set for an engine from its sample split.
+fn build(corpus: &Corpus, id: usize) -> Option<mse::core::SectionWrapperSet> {
+    let engine = &corpus.engines[id];
+    let samples: Vec<(String, String)> = corpus
+        .sample_pages(engine)
+        .into_iter()
+        .map(|p| (p.html, p.query))
+        .collect();
+    let refs: Vec<(&str, Option<&str>)> = samples
+        .iter()
+        .map(|(h, q)| (h.as_str(), Some(q.as_str())))
+        .collect();
+    Mse::new(MseConfig::default())
+        .build_with_queries(&refs)
+        .ok()
+}
+
+/// §1: "Our record extraction method has no constraint on the minimum
+/// number of SRRs that must be in a section" — one-record sections must be
+/// extractable (prior work required ≥ 2).
+#[test]
+fn single_record_sections_are_extracted() {
+    let corpus = Corpus::generate(CorpusConfig::default());
+    let mut checked = 0usize;
+    let mut hit = 0usize;
+    for engine in corpus.engines.iter().filter(|e| e.multi).take(12) {
+        let Some(ws) = build(&corpus, engine.id) else {
+            continue;
+        };
+        for q in 0..10 {
+            let page = engine.page(q);
+            let singles: Vec<&str> = page
+                .truth
+                .sections
+                .iter()
+                .filter(|s| s.records.len() == 1)
+                .map(|s| s.schema.as_str())
+                .collect();
+            if singles.is_empty() {
+                continue;
+            }
+            let ex = ws.extract_with_query(&page.html, Some(&page.query));
+            for gt in page.truth.sections.iter().filter(|s| s.records.len() == 1) {
+                checked += 1;
+                let key = gt.records[0].key();
+                if ex
+                    .sections
+                    .iter()
+                    .any(|s| s.records.len() == 1 && s.records[0].lines.join("\n") == key)
+                {
+                    hit += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        checked >= 10,
+        "test bed produced too few 1-record sections ({checked})"
+    );
+    assert!(
+        hit * 3 >= checked * 2,
+        "single-record extraction too weak: {hit}/{checked}"
+    );
+}
+
+/// §5.8: hidden sections — schemas with no (or one) sample-page instance
+/// are recovered through section families on test pages.
+#[test]
+fn some_hidden_sections_recovered_via_families() {
+    let corpus = Corpus::generate(CorpusConfig::default());
+    let mut family_hits = 0usize;
+    for engine in corpus.engines.iter().filter(|e| e.multi) {
+        let sample_pages = corpus.sample_pages(engine);
+        let seen: Vec<&str> = sample_pages
+            .iter()
+            .flat_map(|p| p.truth.sections.iter().map(|s| s.schema.as_str()))
+            .collect();
+        let hidden: Vec<&str> = engine
+            .sections
+            .iter()
+            .map(|s| s.name.as_str())
+            .filter(|n| seen.iter().filter(|x| x == &n).count() <= 1)
+            .collect();
+        if hidden.is_empty() {
+            continue;
+        }
+        let Some(ws) = build(&corpus, engine.id) else {
+            continue;
+        };
+        for page in corpus.test_pages(engine) {
+            let ex = ws.extract_with_query(&page.html, Some(&page.query));
+            for gt in page
+                .truth
+                .sections
+                .iter()
+                .filter(|s| hidden.contains(&s.schema.as_str()))
+            {
+                let keys: Vec<String> = gt.records.iter().map(|r| r.key()).collect();
+                if ex.sections.iter().any(|s| {
+                    matches!(s.schema, SchemaId::Family(_))
+                        && s.records
+                            .iter()
+                            .filter(|r| keys.contains(&r.lines.join("\n")))
+                            .count()
+                            * 2
+                            > keys.len()
+                }) {
+                    family_hits += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        family_hits >= 3,
+        "families recovered only {family_hits} hidden sections"
+    );
+}
+
+/// §5.3 Case 5: static repeating content (navigation link lists) must not
+/// be extracted as sections.
+#[test]
+fn static_nav_not_extracted() {
+    let corpus = Corpus::generate(CorpusConfig::default());
+    for engine in corpus.engines.iter().filter(|e| e.nav_trap).take(10) {
+        let Some(ws) = build(&corpus, engine.id) else {
+            continue;
+        };
+        let page = engine.page(7);
+        let ex = ws.extract_with_query(&page.html, Some(&page.query));
+        for sec in &ex.sections {
+            for rec in &sec.records {
+                for label in &engine.nav_labels {
+                    assert!(
+                        !rec.lines.iter().any(|l| l == label),
+                        "nav label {label:?} leaked into extraction of engine {}",
+                        engine.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// §7: MSE beats MDR on section precision by a wide margin (MDR emits
+/// static repeating regions and cannot tell sections apart).
+#[test]
+fn mse_beats_mdr_on_precision() {
+    let corpus = Corpus::generate(CorpusConfig::small(2006));
+    let _cfg = MseConfig::default();
+    let mdr_cfg = MdrConfig::default();
+    let mut mse_score = mse::eval::PageScore::default();
+    let mut mdr_score = mse::eval::PageScore::default();
+    for engine in &corpus.engines {
+        let ws = build(&corpus, engine.id);
+        for q in 0..10 {
+            let page = engine.page(q);
+            if let Some(ws) = &ws {
+                mse_score.add(&score_page(
+                    &page.truth,
+                    &ws.extract_with_query(&page.html, Some(&page.query)),
+                ));
+            }
+            mdr_score.add(&score_page(&page.truth, &mdr_extract(&page.html, &mdr_cfg)));
+        }
+    }
+    let mse_p = mse_score.sections.precision_total();
+    let mdr_p = mdr_score.sections.precision_total();
+    assert!(
+        mse_p > mdr_p + 0.2,
+        "expected MSE ≫ MDR on precision, got {mse_p:.2} vs {mdr_p:.2}"
+    );
+}
+
+/// §2: the corpus reproduces the survey statistic that ~97% of sections
+/// carry an explicit boundary marker.
+#[test]
+fn corpus_sbm_statistic() {
+    let corpus = Corpus::generate(CorpusConfig::default());
+    let f = corpus.stats().sbm_fraction();
+    assert!(
+        (0.93..=1.0).contains(&f),
+        "SBM fraction {f} off the paper's 96.9%"
+    );
+}

@@ -1,0 +1,99 @@
+//! Robustness: wrappers learned from clean pages must keep working when
+//! the *test* pages are tag soup — unclosed tags, stray end tags, comment
+//! debris. 2006-era result pages were rarely valid HTML, and the paper's
+//! pipeline (like any browser-based one) has to shrug this off.
+
+use mse::core::{Mse, MseConfig};
+use mse::testbed::{Corpus, CorpusConfig};
+
+/// Deterministically rough up a page: drop some closing tags that the
+/// parser can recover (`</p>`, `</li>`, `</td>`, `</tr>`), inject stray
+/// end tags and comments. The *visible text* is unchanged, so ground truth
+/// still applies.
+fn roughen(html: &str, salt: usize) -> String {
+    let mut out = String::with_capacity(html.len());
+    let mut i = 0;
+    let mut k = salt;
+    let bytes = html.as_bytes();
+    while i < bytes.len() {
+        let rest = &html[i..];
+        let droppable = ["</p>", "</li>", "</td>", "</tr>"]
+            .iter()
+            .find(|t| rest.starts_with(**t))
+            .copied();
+        if let Some(tag) = droppable {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match (k >> 33) % 4 {
+                0 => {} // drop the closing tag entirely
+                1 => {
+                    out.push_str("<!-- x -->");
+                    out.push_str(tag);
+                }
+                2 => {
+                    out.push_str(tag);
+                    out.push_str("</span>"); // stray unmatched end tag
+                }
+                _ => out.push_str(tag),
+            }
+            i += tag.len();
+        } else {
+            let ch = rest.chars().next().unwrap();
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    out
+}
+
+#[test]
+fn wrappers_survive_tag_soup_test_pages() {
+    let corpus = Corpus::generate(CorpusConfig::small(2006));
+    let cfg = MseConfig::default();
+    let mut clean_total = 0usize;
+    let mut soup_total = 0usize;
+    let mut engines_checked = 0usize;
+
+    for engine in &corpus.engines {
+        let samples: Vec<(String, String)> = corpus
+            .sample_pages(engine)
+            .into_iter()
+            .map(|p| (p.html, p.query))
+            .collect();
+        let refs: Vec<(&str, Option<&str>)> = samples
+            .iter()
+            .map(|(h, q)| (h.as_str(), Some(q.as_str())))
+            .collect();
+        let Ok(ws) = Mse::new(cfg.clone()).build_with_queries(&refs) else {
+            continue;
+        };
+        engines_checked += 1;
+        for (qi, page) in corpus.test_pages(engine).into_iter().enumerate() {
+            let clean = ws.extract_with_query(&page.html, Some(&page.query));
+            let soup_html = roughen(&page.html, engine.id * 100 + qi);
+            let soup = ws.extract_with_query(&soup_html, Some(&page.query));
+            clean_total += clean.total_records();
+            soup_total += soup.total_records();
+        }
+    }
+    assert!(engines_checked >= 8, "too few engines built ({engines_checked})");
+    assert!(clean_total > 200, "clean extraction too small: {clean_total}");
+    // Tag soup may cost a little, but the wrappers must keep most records.
+    assert!(
+        soup_total * 10 >= clean_total * 9,
+        "tag soup broke extraction: {soup_total} vs {clean_total} records"
+    );
+}
+
+#[test]
+fn roughen_preserves_visible_text() {
+    let corpus = Corpus::generate(CorpusConfig::small(2006));
+    let page = corpus.engines[0].page(0);
+    let soup = roughen(&page.html, 7);
+    assert_ne!(page.html, soup, "roughen must actually change the markup");
+    let clean_dom = mse::dom::parse(&page.html);
+    let soup_dom = mse::dom::parse(&soup);
+    let norm = |d: &mse::dom::Dom| -> String {
+        d.text_of(d.root()).split_whitespace().collect::<Vec<_>>().join(" ")
+    };
+    assert_eq!(norm(&clean_dom), norm(&soup_dom));
+}

@@ -6,8 +6,14 @@
 //! mse gen     --seed 2006 --engine 3 --pages 10 --out dir/   generate synthetic result pages
 //! mse build   --out wrapper.json page0.html:query0 page1.html:query1 ...
 //! mse extract --wrapper wrapper.json [--query q] [--annotate] page.html
+//! mse extract --wrapper wrapper.json [--threads N] [--json] page0.html page1.html ...
 //! mse eval    [--small] [--seed 2006] [--threads N]          run the Table-1 evaluation
 //! ```
+//!
+//! Passing several pages to `extract` switches to batch mode: the pages
+//! fan out over `--threads` workers (default: all cores) sharing one
+//! distance memo, and the output is one result per page in input order —
+//! byte-identical to extracting each page alone.
 //!
 //! Sample-page arguments take the form `path[:query]`; passing the query
 //! lets the builder strip its terms as dynamic components (paper §5.2).
@@ -55,6 +61,7 @@ pub fn usage() -> String {
      \x20 mse gen     --seed N --engine ID [--pages N] --out DIR\n\
      \x20 mse build   --out WRAPPER.json PAGE[:QUERY]...\n\
      \x20 mse extract --wrapper WRAPPER.json [--query Q] [--annotate] PAGE\n\
+     \x20 mse extract --wrapper WRAPPER.json [--threads N] [--json] PAGE...\n\
      \x20 mse eval    [--small] [--seed N] [--threads N]\n"
         .to_string()
 }
@@ -185,14 +192,21 @@ fn cmd_extract(args: &[String]) -> Result<String, CliError> {
     let Some(wrapper_path) = opt(&opts, "wrapper") else {
         return err("extract requires --wrapper WRAPPER.json");
     };
-    let [page_path] = pos.as_slice() else {
-        return err("extract takes exactly one PAGE argument");
-    };
-    let ws: SectionWrapperSet = serde_json::from_str(
+    if pos.is_empty() {
+        return err("extract needs at least one PAGE argument");
+    }
+    let mut ws: SectionWrapperSet = serde_json::from_str(
         &fs::read_to_string(wrapper_path)
             .map_err(|e| CliError(format!("cannot read {wrapper_path}: {e}")))?,
     )
     .map_err(|e| CliError(format!("bad wrapper file: {e}")))?;
+    if let Some(t) = opt(&opts, "threads") {
+        ws.cfg.threads = t.parse().map_err(|_| CliError("bad --threads".into()))?;
+    }
+    if pos.len() > 1 {
+        return cmd_extract_batch(&opts, &pos, &ws);
+    }
+    let page_path = &pos[0];
     let html = fs::read_to_string(page_path)
         .map_err(|e| CliError(format!("cannot read {page_path}: {e}")))?;
     let ex = ws.extract_with_query(&html, opt(&opts, "query"));
@@ -232,6 +246,36 @@ fn cmd_extract(args: &[String]) -> Result<String, CliError> {
         ex.total_records()
     )
     .unwrap();
+    Ok(out)
+}
+
+/// Batch extraction over several pages: fan out over `cfg.threads`
+/// workers with one shared distance memo, results in input order.
+fn cmd_extract_batch(
+    opts: &[(String, String)],
+    pages: &[String],
+    ws: &SectionWrapperSet,
+) -> Result<String, CliError> {
+    let query = opt(opts, "query");
+    let htmls: Vec<String> = pages
+        .iter()
+        .map(|p| fs::read_to_string(p).map_err(|e| CliError(format!("cannot read {p}: {e}"))))
+        .collect::<Result<_, _>>()?;
+    let inputs: Vec<(&str, Option<&str>)> = htmls.iter().map(|h| (h.as_str(), query)).collect();
+    let extractions = ws.extract_batch(&inputs);
+    if opt(opts, "json").is_some() {
+        return serde_json::to_string_pretty(&extractions).map_err(|e| CliError(e.to_string()));
+    }
+    let mut out = String::new();
+    for (path, ex) in pages.iter().zip(&extractions) {
+        writeln!(
+            out,
+            "{path}: {} section(s), {} record(s)",
+            ex.sections.len(),
+            ex.total_records()
+        )
+        .unwrap();
+    }
     Ok(out)
 }
 
@@ -341,6 +385,55 @@ mod tests {
         ]))
         .expect("extract --json");
         let _: mse_core::Extraction = serde_json::from_str(&out).expect("json output parses");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_extract_matches_single() {
+        let dir = std::env::temp_dir().join(format!("mse-cli-batch-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_string();
+        run(&s(&[
+            "gen", "--seed", "2006", "--engine", "4", "--pages", "8", "--out", &dir_s,
+        ]))
+        .expect("gen");
+        let queries = mse_testbed::words::QUERIES;
+        let mut args = s(&["build", "--out"]);
+        args.push(format!("{dir_s}/wrapper.json"));
+        for (q, query) in queries.iter().enumerate().take(5) {
+            args.push(format!("{dir_s}/page{q}.html:{query}"));
+        }
+        run(&args).expect("build");
+        // Batch over the held-out pages, 1 vs 4 workers: identical output.
+        let mut batch = s(&[
+            "extract",
+            "--wrapper",
+            &format!("{dir_s}/wrapper.json"),
+            "--json",
+            "--threads",
+            "1",
+        ]);
+        for q in 5..8 {
+            batch.push(format!("{dir_s}/page{q}.html"));
+        }
+        let serial = run(&batch).expect("batch --threads 1");
+        batch[5] = "4".to_string();
+        let parallel = run(&batch).expect("batch --threads 4");
+        assert_eq!(serial, parallel);
+        let exs: Vec<mse_core::Extraction> = serde_json::from_str(&serial).expect("json array");
+        assert_eq!(exs.len(), 3);
+        // Each batch result equals the single-page extraction.
+        for (q, ex) in (5..8).zip(&exs) {
+            let single = run(&s(&[
+                "extract",
+                "--wrapper",
+                &format!("{dir_s}/wrapper.json"),
+                "--json",
+                &format!("{dir_s}/page{q}.html"),
+            ]))
+            .expect("single extract");
+            let single: mse_core::Extraction = serde_json::from_str(&single).unwrap();
+            assert_eq!(&single, ex);
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

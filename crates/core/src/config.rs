@@ -82,6 +82,19 @@ pub struct MseConfig {
     pub enable_granularity: bool,
     pub enable_families: bool,
     pub mining: MiningMode,
+    /// Worker threads for page-level fan-out (analysis, batch extraction)
+    /// and pairwise distance loops. `0` = use all available cores, `1` =
+    /// serial (no threads spawned). Results are identical for every
+    /// setting — parallelism only changes wall-clock time.
+    pub threads: usize,
+    /// Use the memoized bounded distance engine: record-pair distances go
+    /// through a build-owned [`DistanceCache`](crate::DistanceCache) so
+    /// Formula 4–7 evaluations never recompute a seen pair, threshold
+    /// tests use banded early-exit edit distances, and DSE matches lines
+    /// through a text index. Disabling reverts every evaluation to the
+    /// reference implementation (exact, unbounded, no memo) — results are
+    /// identical either way; only wall-clock time changes.
+    pub enable_distance_cache: bool,
 }
 
 impl Default for MseConfig {
@@ -106,6 +119,8 @@ impl Default for MseConfig {
             enable_granularity: true,
             enable_families: true,
             mining: MiningMode::Cohesion,
+            threads: 0,
+            enable_distance_cache: true,
         }
     }
 }
@@ -145,6 +160,11 @@ impl MseConfig {
             return Err("min_pattern_repeat must be at least 2".into());
         }
         Ok(())
+    }
+
+    /// The concrete worker count the `threads` knob resolves to.
+    pub fn effective_threads(&self) -> usize {
+        crate::par::effective_threads(self.threads)
     }
 }
 

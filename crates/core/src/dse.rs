@@ -13,23 +13,79 @@
 //! pairs and keep lines marked in at least `csbm_vote_frac` of a page's
 //! pairings.
 
+use crate::cache::DistanceCache;
 use crate::config::MseConfig;
 use crate::page::Page;
 use crate::section::SectionInst;
+use std::collections::HashMap;
+
+/// Per-page text index: interned cleaned-text id of every line (`None`
+/// when the cleaned text is empty) plus id → line-indices (ascending).
+/// Turns the most-compatible-line scan from O(lines) string comparisons
+/// into one hash lookup over the handful of same-text candidates.
+struct TextIndex {
+    ids: Vec<Option<u32>>,
+    by_id: HashMap<u32, Vec<usize>>,
+}
+
+fn text_index(cache: &DistanceCache, page: &Page) -> TextIndex {
+    let ids: Vec<Option<u32>> = page
+        .cleaned
+        .iter()
+        .map(|t| (!t.is_empty()).then(|| cache.intern(&format!("T|{t}"))))
+        .collect();
+    let mut by_id: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (l, id) in ids.iter().enumerate() {
+        if let Some(id) = id {
+            by_id.entry(*id).or_default().push(l);
+        }
+    }
+    TextIndex { ids, by_id }
+}
 
 /// Per-page CSBM flags for a set of sample pages.
 pub fn csbm_flags(pages: &[Page], mrs: &[Vec<SectionInst>], cfg: &MseConfig) -> Vec<Vec<bool>> {
+    csbm_flags_cached(pages, mrs, cfg, &DistanceCache::disabled())
+}
+
+/// [`csbm_flags`] with a shared intern table. The pairwise DSE runs are
+/// independent, so they fan out over `cfg.threads` workers; votes are
+/// tallied in pair order, keeping the result identical to the serial run.
+pub fn csbm_flags_cached(
+    pages: &[Page],
+    mrs: &[Vec<SectionInst>],
+    cfg: &MseConfig,
+    cache: &DistanceCache,
+) -> Vec<Vec<bool>> {
     let n = pages.len();
-    let mut votes: Vec<Vec<usize>> = pages.iter().map(|p| vec![0; p.n_lines()]).collect();
+    // The text index belongs to the optimized engine; without an enabled
+    // cache each pair falls back to the reference full-scan matching.
+    let indexes: Vec<TextIndex> = if cache.enabled() {
+        pages.iter().map(|p| text_index(cache, p)).collect()
+    } else {
+        Vec::new()
+    };
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
     for i in 0..n {
         for j in i + 1..n {
-            let (mi, mj) = pair_csbms(&pages[i], &pages[j]);
-            for l in mi {
-                votes[i][l] += 1;
+            pairs.push((i, j));
+        }
+    }
+    let per_pair: Vec<(Vec<usize>, Vec<usize>)> =
+        crate::par::par_map(&pairs, cfg.effective_threads(), |_, &(i, j)| {
+            if cache.enabled() {
+                pair_csbms_indexed(&pages[i], &indexes[i], &pages[j], &indexes[j])
+            } else {
+                pair_csbms(&pages[i], &pages[j])
             }
-            for l in mj {
-                votes[j][l] += 1;
-            }
+        });
+    let mut votes: Vec<Vec<usize>> = pages.iter().map(|p| vec![0; p.n_lines()]).collect();
+    for (&(i, j), (mi, mj)) in pairs.iter().zip(&per_pair) {
+        for &l in mi {
+            votes[i][l] += 1;
+        }
+        for &l in mj {
+            votes[j][l] += 1;
         }
     }
     let need = if n <= 1 {
@@ -48,13 +104,65 @@ pub fn csbm_flags(pages: &[Page], mrs: &[Vec<SectionInst>], cfg: &MseConfig) -> 
 }
 
 /// One pairwise DSE run (lines 3–9 of the paper's algorithm): returns the
-/// tentative CSBM line indices of each page.
+/// tentative CSBM line indices of each page. This is the reference
+/// implementation (full O(lines²) matching); [`csbm_flags_cached`] uses a
+/// text index instead when the cache is enabled — identical results.
 pub fn pair_csbms(p1: &Page, p2: &Page) -> (Vec<usize>, Vec<usize>) {
     let mc1: Vec<Option<usize>> = (0..p1.n_lines())
-        .map(|l| find_most_compatible(p1, l, p2))
+        .map(|l| find_most_compatible_scan(p1, l, p2))
         .collect();
     let mc2: Vec<Option<usize>> = (0..p2.n_lines())
-        .map(|l| find_most_compatible(p2, l, p1))
+        .map(|l| find_most_compatible_scan(p2, l, p1))
+        .collect();
+    let mut out1 = Vec::new();
+    let mut out2 = Vec::new();
+    for (l, &m) in mc1.iter().enumerate() {
+        if let Some(m) = m {
+            if mc2[m] == Some(l) {
+                out1.push(l);
+                out2.push(m);
+            }
+        }
+    }
+    (out1, out2)
+}
+
+/// Reference most-compatible-line: scan every line of `other`.
+fn find_most_compatible_scan(page: &Page, line: usize, other: &Page) -> Option<usize> {
+    let text = &page.cleaned[line];
+    if text.is_empty() {
+        return None;
+    }
+    let path = &page.rp.lines[line].path;
+    let mut best: Option<(usize, f64)> = None;
+    for (j, jt) in other.cleaned.iter().enumerate() {
+        if jt != text {
+            continue;
+        }
+        let jp = &other.rp.lines[j].path;
+        if !path.compatible(jp) {
+            continue;
+        }
+        let d = path.dtp(jp);
+        match best {
+            Some((_, bd)) if bd <= d => {}
+            _ => best = Some((j, d)),
+        }
+    }
+    best.map(|(j, _)| j)
+}
+
+fn pair_csbms_indexed(
+    p1: &Page,
+    i1: &TextIndex,
+    p2: &Page,
+    i2: &TextIndex,
+) -> (Vec<usize>, Vec<usize>) {
+    let mc1: Vec<Option<usize>> = (0..p1.n_lines())
+        .map(|l| find_most_compatible(p1, i1, l, p2, i2))
+        .collect();
+    let mc2: Vec<Option<usize>> = (0..p2.n_lines())
+        .map(|l| find_most_compatible(p2, i2, l, p1, i1))
         .collect();
     let mut out1 = Vec::new();
     let mut out2 = Vec::new();
@@ -72,17 +180,18 @@ pub fn pair_csbms(p1: &Page, p2: &Page) -> (Vec<usize>, Vec<usize>) {
 /// `find_most_compatible_line(l, L)`: the line of `other` with the same
 /// cleaned text and a compatible tag path, minimizing the tag-path distance
 /// `Dtp` (Formula 1). Lines whose cleaned text is empty never match.
-fn find_most_compatible(page: &Page, line: usize, other: &Page) -> Option<usize> {
-    let text = &page.cleaned[line];
-    if text.is_empty() {
-        return None;
-    }
+fn find_most_compatible(
+    page: &Page,
+    index: &TextIndex,
+    line: usize,
+    other: &Page,
+    other_index: &TextIndex,
+) -> Option<usize> {
+    let id = index.ids[line]?;
+    let candidates = other_index.by_id.get(&id)?;
     let path = &page.rp.lines[line].path;
     let mut best: Option<(usize, f64)> = None;
-    for (j, jt) in other.cleaned.iter().enumerate() {
-        if jt != text {
-            continue;
-        }
+    for &j in candidates {
         let jp = &other.rp.lines[j].path;
         if !path.compatible(jp) {
             continue;
@@ -400,8 +509,16 @@ mod vote_tests {
             Page::from_html(&html, Some(query))
         };
         let pages = vec![
-            mk(Some("Lucky Match"), &["alpha", "beta", "gamma"], "knee injury"),
-            mk(Some("Lucky Match"), &["red", "green", "blue"], "digital camera"),
+            mk(
+                Some("Lucky Match"),
+                &["alpha", "beta", "gamma"],
+                "knee injury",
+            ),
+            mk(
+                Some("Lucky Match"),
+                &["red", "green", "blue"],
+                "digital camera",
+            ),
             mk(None, &["one", "two", "three"], "jazz festival"),
             mk(None, &["sun", "moon", "star"], "climate report"),
         ];

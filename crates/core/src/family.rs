@@ -15,6 +15,7 @@
 //! the concrete set ("the original section wrappers … are deleted") and
 //! the family extracts all instances, seen or hidden.
 
+use crate::cache::DistanceCache;
 use crate::config::MseConfig;
 use crate::features::Features;
 use crate::page::Page;
@@ -218,6 +219,29 @@ pub fn apply_family(
     fam: &FamilyWrapper,
     claimed: &[NodeId],
 ) -> Vec<(NodeId, SectionInst)> {
+    apply_family_cached(page, cfg, fam, claimed, &DistanceCache::disabled())
+}
+
+/// [`apply_family`] with a shared distance memo (see [`DistanceCache`]).
+pub fn apply_family_cached(
+    page: &Page,
+    cfg: &MseConfig,
+    fam: &FamilyWrapper,
+    claimed: &[NodeId],
+    cache: &DistanceCache,
+) -> Vec<(NodeId, SectionInst)> {
+    let mut feats = Features::with_cache(page, cfg, cache);
+    apply_family_with(&mut feats, fam, claimed)
+}
+
+/// [`apply_family`] against a caller-owned [`Features`] calculator (one per
+/// page, shared across all of a wrapper set's families).
+pub(crate) fn apply_family_with(
+    feats: &mut Features,
+    fam: &FamilyWrapper,
+    claimed: &[NodeId],
+) -> Vec<(NodeId, SectionInst)> {
+    let (page, cfg) = (feats.page, feats.cfg);
     let dom = &page.rp.dom;
     let candidates: Vec<NodeId> = match &fam.pref {
         Some(pref) => pref.resolve_all(dom, cfg.family_slack),
@@ -262,9 +286,25 @@ pub fn apply_family(
     candidates.retain(|&c| !claimed.contains(&c));
 
     let mut out = Vec::new();
-    let mut feats = Features::new(page, cfg);
     'cand: for cand in candidates {
-        let records = partition_by_seps(page, cand, &fam.seps);
+        let mut records = partition_by_seps(page, cand, &fam.seps);
+        // Trim boundary "records" whose line-type shape was never seen at
+        // build time — these are markers rendered inside the container
+        // (the family-level analogue of the wrapper's LBM/RBM text trim).
+        if !fam.record_type_seqs.is_empty() {
+            let shape_known = |r: &crate::features::Rec| {
+                let seq: Vec<u8> = (r.start..r.end)
+                    .map(|l| page.rp.lines[l].ltype.code())
+                    .collect();
+                fam.record_type_seqs.contains(&seq)
+            };
+            while records.last().map(|r| !shape_known(r)).unwrap_or(false) {
+                records.pop();
+            }
+            while records.first().map(|r| !shape_known(r)).unwrap_or(false) {
+                records.remove(0);
+            }
+        }
         if records.is_empty() {
             continue;
         }
@@ -309,7 +349,7 @@ pub fn apply_family(
             }
         }
         // Records of one section must be mutually similar.
-        if records.len() >= 2 && feats.dinr(&records) > cfg.mre_sim_threshold {
+        if records.len() >= 2 && feats.dinr_exceeds(&records, cfg.mre_sim_threshold) {
             continue;
         }
         out.push((

@@ -2,12 +2,14 @@
 //! inter-record distance (5), record diversity (6) and section cohesion
 //! (7), computed over line ranges of a [`Page`].
 
+use crate::cache::DistanceCache;
 use crate::config::MseConfig;
 use crate::page::Page;
 use mse_render::block::{dbp, dbs, dbt, dbta};
-use mse_treedit::{forest_distance, TagTree};
+use mse_treedit::{forest_distance, forest_distance_bounded, TagTree};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// A record: a half-open range of content lines on one page.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -36,11 +38,15 @@ impl Rec {
 }
 
 /// Feature calculator with a per-page tag-forest cache (forest lifting is
-/// the expensive part of `Drec`).
+/// the expensive part of `Drec`) and an optional shared [`DistanceCache`]
+/// memoizing record-pair distances across pages and `Features` instances.
 pub struct Features<'a> {
     pub page: &'a Page,
     pub cfg: &'a MseConfig,
+    cache: Option<&'a DistanceCache>,
     forests: HashMap<(usize, usize), Vec<TagTree>>,
+    keys: HashMap<(usize, usize), u32>,
+    divs: HashMap<(usize, usize), f64>,
 }
 
 impl<'a> Features<'a> {
@@ -48,30 +54,113 @@ impl<'a> Features<'a> {
         Features {
             page,
             cfg,
+            cache: None,
             forests: HashMap::new(),
+            keys: HashMap::new(),
+            divs: HashMap::new(),
         }
     }
 
-    fn forest(&mut self, r: Rec) -> &Vec<TagTree> {
-        self.forests
-            .entry((r.start, r.end))
-            .or_insert_with(|| self.page.forest(r.start, r.end))
+    /// A calculator backed by a build-owned pair memo: `Drec` values for
+    /// content-identical record pairs are computed once per cache lifetime
+    /// instead of once per `Features` instance.
+    pub fn with_cache(
+        page: &'a Page,
+        cfg: &'a MseConfig,
+        cache: &'a DistanceCache,
+    ) -> Features<'a> {
+        Features {
+            cache: Some(cache),
+            ..Features::new(page, cfg)
+        }
+    }
+
+    fn ensure_forest(&mut self, r: Rec) {
+        if !self.forests.contains_key(&(r.start, r.end)) {
+            let f = self.page.forest(r.start, r.end);
+            self.forests.insert((r.start, r.end), f);
+        }
+    }
+
+    /// The record's interned content key: its tag-forest signature plus
+    /// the (type, position, attrs) encoding of its lines — exactly the
+    /// inputs of `Drec`, so equal keys imply equal distances.
+    fn rec_key(&mut self, cache: &DistanceCache, r: Rec) -> u32 {
+        if let Some(&k) = self.keys.get(&(r.start, r.end)) {
+            return k;
+        }
+        self.ensure_forest(r);
+        let mut s = String::from("R|");
+        for t in &self.forests[&(r.start, r.end)] {
+            s.push_str(&t.signature());
+        }
+        for l in &self.page.rp.lines[r.start..r.end] {
+            let _ = write!(s, "|{:?},{},{:?}", l.ltype, l.pos, l.attrs);
+        }
+        let k = cache.intern(&s);
+        self.keys.insert((r.start, r.end), k);
+        k
     }
 
     /// Record distance `Drec` (Formula 4):
     /// `v1·Dtf + v2·Dbt + v3·Dbs + v4·Dbp + v5·Dbta`.
     pub fn drec(&mut self, a: Rec, b: Rec) -> f64 {
+        self.drec_bounded(a, b, f64::INFINITY)
+    }
+
+    /// Bounded record distance: the exact `Drec` when it is `<= bound`,
+    /// `f64::INFINITY` otherwise (computed with the banded edit distance,
+    /// so a hopeless pair costs little). Values `<= bound` are bit-exact
+    /// equal to the unbounded result.
+    ///
+    /// Without an enabled cache this runs the *reference* engine — the
+    /// full unbounded `Drec` compared against `bound` afterwards — so
+    /// benchmarks can A/B the optimized distance engine against the
+    /// textbook evaluation. Both modes return identical values.
+    pub fn drec_bounded(&mut self, a: Rec, b: Rec, bound: f64) -> f64 {
+        match self.cache {
+            Some(cache) if cache.enabled() => {
+                let ka = self.rec_key(cache, a);
+                let kb = self.rec_key(cache, b);
+                cache.pair_bounded(ka, kb, bound, |bd| self.drec_raw(a, b, bd))
+            }
+            _ => {
+                let d = self.drec_raw(a, b, f64::INFINITY);
+                if d > bound {
+                    f64::INFINITY
+                } else {
+                    d
+                }
+            }
+        }
+    }
+
+    fn drec_raw(&mut self, a: Rec, b: Rec, bound: f64) -> f64 {
         let v = self.cfg.v;
-        // Tag forest distance needs both forests; clone the first out of the
-        // cache to satisfy the borrow checker (forests are small).
-        let fa = self.forest(a).clone();
-        let dtf = {
-            let fb = self.forest(b);
-            forest_distance(&fa, fb)
-        };
         let la = &self.page.rp.lines[a.start..a.end];
         let lb = &self.page.rp.lines[b.start..b.end];
-        v.0 * dtf + v.1 * dbt(la, lb) + v.2 * dbs(la, lb) + v.3 * dbp(la, lb) + v.4 * dbta(la, lb)
+        let cheap = v.1 * dbt(la, lb) + v.2 * dbs(la, lb) + v.3 * dbp(la, lb) + v.4 * dbta(la, lb);
+        if cheap > bound {
+            return f64::INFINITY; // Dtf >= 0 cannot bring the sum back down
+        }
+        self.ensure_forest(a);
+        self.ensure_forest(b);
+        let fa = &self.forests[&(a.start, a.end)];
+        let fb = &self.forests[&(b.start, b.end)];
+        let dtf = if bound.is_finite() && v.0 > 0.0 {
+            forest_distance_bounded(fa, fb, (bound - cheap) / v.0)
+        } else {
+            forest_distance(fa, fb)
+        };
+        if !dtf.is_finite() {
+            return f64::INFINITY;
+        }
+        let d = v.0 * dtf + cheap;
+        if d > bound {
+            f64::INFINITY
+        } else {
+            d
+        }
     }
 
     /// Inter-record distance `Dinr` (Formula 5): mean pairwise `Drec` over
@@ -90,12 +179,68 @@ impl<'a> Features<'a> {
         sum / (n * (n - 1) / 2) as f64
     }
 
+    /// `Dinr(records) > threshold`, with early exit: as soon as the
+    /// accumulated pair distances already force the mean over the
+    /// threshold, the remaining pairs are skipped, and each pair itself
+    /// runs under a bound (distances are non-negative, so a partial sum
+    /// exceeding `threshold × pairs` settles the comparison).
+    pub fn dinr_exceeds(&mut self, records: &[Rec], threshold: f64) -> bool {
+        let n = records.len();
+        if n < 2 {
+            return 0.0 > threshold;
+        }
+        let budget = threshold * (n * (n - 1) / 2) as f64;
+        let mut sum = 0.0;
+        for i in 0..n - 1 {
+            for j in i + 1..n {
+                let d = self.drec_bounded(records[i], records[j], budget - sum);
+                if !d.is_finite() {
+                    return true;
+                }
+                sum += d;
+            }
+        }
+        sum > budget
+    }
+
+    /// `Dinr` under a bound: returns the exact mean pairwise distance when
+    /// it is ≤ `bound`, and `f64::INFINITY` as soon as the accumulated
+    /// pair distances force the mean over `bound` (remaining pairs are
+    /// skipped; each pair itself runs under the leftover budget).
+    pub fn dinr_bounded(&mut self, records: &[Rec], bound: f64) -> f64 {
+        let n = records.len();
+        if n < 2 {
+            return if 0.0 > bound { f64::INFINITY } else { 0.0 };
+        }
+        let pairs = (n * (n - 1) / 2) as f64;
+        let budget = bound * pairs;
+        let mut sum = 0.0;
+        for i in 0..n - 1 {
+            for j in i + 1..n {
+                let d = self.drec_bounded(records[i], records[j], budget - sum);
+                if !d.is_finite() {
+                    return f64::INFINITY;
+                }
+                sum += d;
+            }
+        }
+        if sum > budget {
+            f64::INFINITY
+        } else {
+            sum / pairs
+        }
+    }
+
     /// Record diversity `Div` (Formula 6): mean pairwise line distance
     /// within one record. Zero for single-line records.
     pub fn div(&mut self, r: Rec) -> f64 {
+        if let Some(&d) = self.divs.get(&(r.start, r.end)) {
+            return d;
+        }
         let lines = &self.page.rp.lines[r.start..r.end];
         let m = lines.len();
         if m < 2 {
+            self.divs.insert((r.start, r.end), 0.0);
             return 0.0;
         }
         let mut sum = 0.0;
@@ -104,7 +249,9 @@ impl<'a> Features<'a> {
                 sum += lines[i].distance(&lines[j], self.cfg.u);
             }
         }
-        sum / (m * (m - 1) / 2) as f64
+        let d = sum / (m * (m - 1) / 2) as f64;
+        self.divs.insert((r.start, r.end), d);
+        d
     }
 
     /// Section cohesion `Cohs` (Formula 7):
@@ -125,6 +272,25 @@ impl<'a> Features<'a> {
             return f64::INFINITY;
         }
         set.iter().map(|&o| self.drec(r, o)).sum::<f64>() / set.len() as f64
+    }
+
+    /// `Davgrs(r, set) > threshold` with the same early-exit scheme as
+    /// [`dinr_exceeds`](Self::dinr_exceeds). An empty set is infinitely
+    /// far (exceeds any finite threshold).
+    pub fn davgrs_exceeds(&mut self, r: Rec, set: &[Rec], threshold: f64) -> bool {
+        if set.is_empty() {
+            return threshold.is_finite();
+        }
+        let budget = threshold * set.len() as f64;
+        let mut sum = 0.0;
+        for &o in set {
+            let d = self.drec_bounded(r, o, budget - sum);
+            if !d.is_finite() {
+                return true;
+            }
+            sum += d;
+        }
+        sum > budget
     }
 }
 

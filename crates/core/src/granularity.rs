@@ -21,29 +21,51 @@
 //!    shred a small section into per-title slivers — this puts them back
 //!    together).
 
+use crate::cache::DistanceCache;
 use crate::config::MseConfig;
 use crate::features::{Features, Rec};
-use crate::mining::mine_records;
+use crate::mining::mine_records_with;
 use crate::page::{floored, Page};
 use crate::section::SectionInst;
 use mse_dom::NodeId;
 
 /// Apply all granularity repairs to a page's sections.
 pub fn granularity(page: &Page, cfg: &MseConfig, sections: Vec<SectionInst>) -> Vec<SectionInst> {
+    granularity_cached(page, cfg, sections, &DistanceCache::disabled())
+}
+
+/// [`granularity`] with a shared distance memo (see [`DistanceCache`]).
+pub fn granularity_cached(
+    page: &Page,
+    cfg: &MseConfig,
+    sections: Vec<SectionInst>,
+    cache: &DistanceCache,
+) -> Vec<SectionInst> {
+    let mut feats = Features::with_cache(page, cfg, cache);
+    granularity_with(&mut feats, sections)
+}
+
+/// [`granularity`] against a caller-owned [`Features`] calculator (shares
+/// tag forests and record keys with the rest of a page's analysis pass).
+pub(crate) fn granularity_with(
+    feats: &mut Features,
+    sections: Vec<SectionInst>,
+) -> Vec<SectionInst> {
     let mut out: Vec<SectionInst> = Vec::new();
     for sec in sections {
-        out.extend(fix_oversized(page, cfg, sec));
+        out.extend(fix_oversized(feats, sec));
     }
     let mut out: Vec<SectionInst> = out
         .into_iter()
-        .map(|s| fix_split_records(page, cfg, s))
+        .map(|s| fix_split_records(feats, s))
         .collect();
     out.sort_by_key(|s| s.start);
-    merge_single_record_runs(page, cfg, out)
+    merge_single_record_runs(feats, out)
 }
 
 /// Repair 1: oversized records (sections-as-records or merged records).
-fn fix_oversized(page: &Page, cfg: &MseConfig, sec: SectionInst) -> Vec<SectionInst> {
+fn fix_oversized(feats: &mut Features, sec: SectionInst) -> Vec<SectionInst> {
+    let cfg = feats.cfg;
     // Mine inside every multi-line record; collect the split results.
     let splits: Vec<Option<Vec<Rec>>> = sec
         .records
@@ -52,7 +74,7 @@ fn fix_oversized(page: &Page, cfg: &MseConfig, sec: SectionInst) -> Vec<SectionI
             if r.len() < 2 {
                 return None;
             }
-            let mined = mine_records(page, cfg, r.start, r.end);
+            let mined = mine_records_with(feats, r.start, r.end);
             if mined.len() > 1 {
                 Some(mined)
             } else {
@@ -66,7 +88,6 @@ fn fix_oversized(page: &Page, cfg: &MseConfig, sec: SectionInst) -> Vec<SectionI
 
     // Decide sections-vs-merged with the paper's boundary test on the first
     // consecutive pair of split records.
-    let mut feats = Features::new(page, cfg);
     let mut as_sections = false;
     for w in 0..sec.records.len().saturating_sub(1) {
         let (s1, s2) = (&splits[w], &splits[w + 1]);
@@ -78,8 +99,8 @@ fn fix_oversized(page: &Page, cfg: &MseConfig, sec: SectionInst) -> Vec<SectionI
         let r21 = *r2_smalls.first().unwrap();
         let d1 = floored(feats.dinr(&r1_smalls), cfg);
         let d2 = floored(feats.dinr(&r2_smalls), cfg);
-        let foreign = feats.davgrs(r21, &r1_smalls) > cfg.w_threshold * d1
-            || feats.davgrs(r1u, &r2_smalls) > cfg.w_threshold * d2;
+        let foreign = feats.davgrs_exceeds(r21, &r1_smalls, cfg.w_threshold * d1)
+            || feats.davgrs_exceeds(r1u, &r2_smalls, cfg.w_threshold * d2);
         if foreign {
             as_sections = true;
         }
@@ -112,12 +133,12 @@ fn fix_oversized(page: &Page, cfg: &MseConfig, sec: SectionInst) -> Vec<SectionI
 
 /// Repair 2: records wrongly split — try re-merged partitions (groups of k
 /// consecutive records) and adopt one only on a clear cohesion win.
-fn fix_split_records(page: &Page, cfg: &MseConfig, sec: SectionInst) -> SectionInst {
+fn fix_split_records(feats: &mut Features, sec: SectionInst) -> SectionInst {
+    let cfg = feats.cfg;
     let n = sec.records.len();
     if n < 2 {
         return sec;
     }
-    let mut feats = Features::new(page, cfg);
     let current = feats.cohesion(&sec.records);
     let mut best: Option<(f64, Vec<Rec>)> = None;
     for k in 2..=n {
@@ -131,7 +152,27 @@ fn fix_split_records(page: &Page, cfg: &MseConfig, sec: SectionInst) -> SectionI
             // identity change, handled by repair 1/3, not here.
             continue;
         }
-        let c = feats.cohesion(&merged);
+        // A candidate only matters if it beats both the adoption threshold
+        // and the best so far; `cohesion = avg_div / (1 + Dinr) > floor`
+        // rearranges to `Dinr < avg_div / floor − 1`, so the expensive
+        // record-pair distances run under that bound and bail early.
+        // Candidates pruned here are exactly those that can neither be
+        // adopted nor displace the eventual winner — output is unchanged.
+        let floor = best
+            .as_ref()
+            .map(|(bc, _)| *bc)
+            .unwrap_or(f64::NEG_INFINITY)
+            .max(current + cfg.granularity_merge_margin);
+        let avg_div = merged.iter().map(|&r| feats.div(r)).sum::<f64>() / merged.len() as f64;
+        let d = if floor > 0.0 {
+            feats.dinr_bounded(&merged, avg_div / floor - 1.0)
+        } else {
+            feats.dinr(&merged)
+        };
+        if !d.is_finite() {
+            continue;
+        }
+        let c = avg_div / (1.0 + d);
         if best.as_ref().map(|(bc, _)| c > *bc).unwrap_or(true) {
             best = Some((c, merged));
         }
@@ -153,11 +194,8 @@ fn container_of(page: &Page, sec: &SectionInst) -> Option<NodeId> {
 
 /// Repair 3: collapse runs of consecutive single-record sections that live
 /// in one structural container, then re-mine the container's span.
-fn merge_single_record_runs(
-    page: &Page,
-    cfg: &MseConfig,
-    sections: Vec<SectionInst>,
-) -> Vec<SectionInst> {
+fn merge_single_record_runs(feats: &mut Features, sections: Vec<SectionInst>) -> Vec<SectionInst> {
+    let page = feats.page;
     let dom = &page.rp.dom;
     let n = sections.len();
     let containers: Vec<Option<NodeId>> = sections.iter().map(|s| container_of(page, s)).collect();
@@ -231,7 +269,7 @@ fn merge_single_record_runs(
         if j + 1 < n {
             hi = hi.min(sections[j + 1].start);
         }
-        let records = mine_records(page, cfg, lo, hi);
+        let records = mine_records_with(feats, lo, hi);
         if records.is_empty() {
             out.extend(sections[i..=j].iter().cloned());
         } else {

@@ -9,6 +9,7 @@
 //! paper certifies an MR "only if it matches with an MR in at least
 //! another sample page".
 
+use crate::cache::DistanceCache;
 use crate::config::MseConfig;
 use crate::features::Rec;
 use crate::mre::common_parent;
@@ -120,11 +121,74 @@ pub fn match_score(
     pb: &Page,
     sb: &SectionInst,
 ) -> f64 {
+    match_score_cached(cfg, pa, sa, pb, sb, &DistanceCache::disabled())
+}
+
+/// Interned cache key of a record's tag forest (the input of the
+/// cross-page `dtf` term in [`match_score`]).
+fn forest_key(cache: &DistanceCache, forest: &[mse_treedit::TagTree]) -> u32 {
+    let mut s = String::from("F|");
+    for t in forest {
+        s.push_str(&t.signature());
+        s.push(';');
+    }
+    cache.intern(&s)
+}
+
+/// Per-instance inputs of [`match_score`] that do not depend on the
+/// partner instance — the container path and the first record's tag
+/// forest. The optimized engine computes these once per instance instead
+/// of once per (instance, instance) score evaluation.
+struct InstanceCtx {
+    path: Option<CompactTagPath>,
+    forest: Option<Vec<mse_treedit::TagTree>>,
+    forest_id: Option<u32>,
+}
+
+fn instance_ctx(page: &Page, sec: &SectionInst, cache: &DistanceCache) -> InstanceCtx {
+    let forest = sec.records.first().map(|r| page.forest(r.start, r.end));
+    let forest_id = match (&forest, cache.enabled()) {
+        (Some(f), true) => Some(forest_key(cache, f)),
+        _ => None,
+    };
+    InstanceCtx {
+        path: container_path(page, sec),
+        forest,
+        forest_id,
+    }
+}
+
+/// [`match_score`] with a shared distance memo (see [`DistanceCache`]).
+pub fn match_score_cached(
+    cfg: &MseConfig,
+    pa: &Page,
+    sa: &SectionInst,
+    pb: &Page,
+    sb: &SectionInst,
+    cache: &DistanceCache,
+) -> f64 {
+    let ca = instance_ctx(pa, sa, cache);
+    let cb = instance_ctx(pb, sb, cache);
+    match_score_pre(cfg, pa, sa, &ca, pb, sb, &cb, cache)
+}
+
+/// Score from precomputed per-instance contexts.
+#[allow(clippy::too_many_arguments)]
+fn match_score_pre(
+    cfg: &MseConfig,
+    pa: &Page,
+    sa: &SectionInst,
+    ca: &InstanceCtx,
+    pb: &Page,
+    sb: &SectionInst,
+    cb: &InstanceCtx,
+    cache: &DistanceCache,
+) -> f64 {
     let (w_path, w_sbm, w_fmt) = cfg.match_weights;
 
     // Tag-path similarity of the section containers.
-    let path_sim = match (container_path(pa, sa), container_path(pb, sb)) {
-        (Some(a), Some(b)) if a.compatible(&b) => 1.0 - a.dtp(&b).min(1.0),
+    let path_sim = match (&ca.path, &cb.path) {
+        (Some(a), Some(b)) if a.compatible(b) => 1.0 - a.dtp(b).min(1.0),
         _ => 0.0,
     };
 
@@ -153,11 +217,15 @@ pub fn match_score(
 
     // Format similarity: compare the first records across pages (tag
     // forest + block type + block attrs — the cross-page subset of Drec).
-    let fmt_sim = match (sa.records.first(), sb.records.first()) {
-        (Some(&ra), Some(&rb)) => {
-            let fa = pa.forest(ra.start, ra.end);
-            let fb = pb.forest(rb.start, rb.end);
-            let dtf = forest_distance(&fa, &fb);
+    let fmt_sim = match (
+        sa.records.first().zip(ca.forest.as_ref()),
+        sb.records.first().zip(cb.forest.as_ref()),
+    ) {
+        (Some((&ra, fa)), Some((&rb, fb))) => {
+            let dtf = match (ca.forest_id, cb.forest_id) {
+                (Some(ka), Some(kb)) => cache.pair(ka, kb, || forest_distance(fa, fb)),
+                _ => forest_distance(fa, fb),
+            };
             let la = &pa.rp.lines[ra.start..ra.end];
             let lb = &pb.rp.lines[rb.start..rb.end];
             1.0 - (0.5 * dtf + 0.25 * dbt(la, lb) + 0.25 * dbta(la, lb))
@@ -174,6 +242,19 @@ pub fn group_instances(
     sections: &[Vec<SectionInst>],
     cfg: &MseConfig,
 ) -> Vec<Vec<InstanceRef>> {
+    group_instances_cached(pages, sections, cfg, &DistanceCache::disabled())
+}
+
+/// [`group_instances`] with a shared distance memo. The page-pair stable
+/// marriages are independent, so they fan out over `cfg.threads` workers;
+/// edges are reassembled in pair order, keeping the result identical to
+/// the serial run.
+pub fn group_instances_cached(
+    pages: &[Page],
+    sections: &[Vec<SectionInst>],
+    cfg: &MseConfig,
+    cache: &DistanceCache,
+) -> Vec<Vec<InstanceRef>> {
     // Flatten instances and remember offsets.
     let mut verts: Vec<InstanceRef> = Vec::new();
     let mut offset: Vec<usize> = Vec::new();
@@ -183,26 +264,67 @@ pub fn group_instances(
     }
 
     // Stable marriage per page pair → edges.
-    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
     for a in 0..pages.len() {
         for b in a + 1..pages.len() {
-            let (na, nb) = (sections[a].len(), sections[b].len());
-            if na == 0 || nb == 0 {
-                continue;
-            }
-            let matching = stable_marriage(
-                na,
-                nb,
-                |i, j| match_score(cfg, &pages[a], &sections[a][i], &pages[b], &sections[b][j]),
-                cfg.section_match_threshold,
-            );
-            for (i, m) in matching.iter().enumerate() {
-                if let Some(j) = m {
-                    edges.push((offset[a] + i, offset[b] + j));
-                }
+            if !sections[a].is_empty() && !sections[b].is_empty() {
+                pairs.push((a, b));
             }
         }
     }
+    // Per-instance contexts, once per instance. The reference engine
+    // (cache disabled) recomputes them inside every score call instead.
+    let ctxs: Vec<Vec<InstanceCtx>> = if cache.enabled() {
+        sections
+            .iter()
+            .enumerate()
+            .map(|(p, secs)| {
+                secs.iter()
+                    .map(|sec| instance_ctx(&pages[p], sec, cache))
+                    .collect()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let per_pair: Vec<Vec<(usize, usize)>> =
+        crate::par::par_map(&pairs, cfg.effective_threads(), |_, &(a, b)| {
+            let (na, nb) = (sections[a].len(), sections[b].len());
+            let matching = stable_marriage(
+                na,
+                nb,
+                |i, j| {
+                    if cache.enabled() {
+                        match_score_pre(
+                            cfg,
+                            &pages[a],
+                            &sections[a][i],
+                            &ctxs[a][i],
+                            &pages[b],
+                            &sections[b][j],
+                            &ctxs[b][j],
+                            cache,
+                        )
+                    } else {
+                        match_score_cached(
+                            cfg,
+                            &pages[a],
+                            &sections[a][i],
+                            &pages[b],
+                            &sections[b][j],
+                            cache,
+                        )
+                    }
+                },
+                cfg.section_match_threshold,
+            );
+            matching
+                .iter()
+                .enumerate()
+                .filter_map(|(i, m)| m.map(|j| (offset[a] + i, offset[b] + j)))
+                .collect()
+        });
+    let edges: Vec<(usize, usize)> = per_pair.into_iter().flatten().collect();
 
     cliques_of_size(verts.len(), &edges, 2)
         .into_iter()

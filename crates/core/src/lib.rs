@@ -48,6 +48,7 @@
 //! assert_eq!(extraction.sections[0].records.len(), 2);
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod dse;
 pub mod family;
@@ -58,11 +59,13 @@ pub mod maintenance;
 pub mod mining;
 pub mod mre;
 pub mod page;
+pub mod par;
 pub mod pipeline;
 pub mod refine;
 pub mod section;
 pub mod wrapper;
 
+pub use cache::DistanceCache;
 pub use config::{MiningMode, MseConfig};
 pub use family::FamilyWrapper;
 pub use features::{Features, Rec};

@@ -11,6 +11,7 @@
 //! what lets a DS holding just one record be mined correctly — the
 //! capability the paper highlights over prior work.
 
+use crate::cache::DistanceCache;
 use crate::config::{MiningMode, MseConfig};
 use crate::features::{Features, Rec};
 use crate::page::Page;
@@ -18,6 +19,26 @@ use mse_dom::{NodeId, NodeKind};
 
 /// Mine the record partition of the line range `[start, end)`.
 pub fn mine_records(page: &Page, cfg: &MseConfig, start: usize, end: usize) -> Vec<Rec> {
+    mine_records_cached(page, cfg, start, end, &DistanceCache::disabled())
+}
+
+/// [`mine_records`] with a shared distance memo (see [`DistanceCache`]).
+pub fn mine_records_cached(
+    page: &Page,
+    cfg: &MseConfig,
+    start: usize,
+    end: usize,
+    cache: &DistanceCache,
+) -> Vec<Rec> {
+    let mut feats = Features::with_cache(page, cfg, cache);
+    mine_records_with(&mut feats, start, end)
+}
+
+/// [`mine_records`] against a caller-owned [`Features`] calculator — lets a
+/// per-page analysis pass share tag forests and interned record keys across
+/// its many mining calls instead of rebuilding them per call.
+pub(crate) fn mine_records_with(feats: &mut Features, start: usize, end: usize) -> Vec<Rec> {
+    let (page, cfg) = (feats.page, feats.cfg);
     if start >= end {
         return vec![];
     }
@@ -31,7 +52,6 @@ pub fn mine_records(page: &Page, cfg: &MseConfig, start: usize, end: usize) -> V
             .find(|p| p.len() > 1)
             .unwrap_or_else(|| vec![Rec::new(start, end)]),
         MiningMode::Cohesion => {
-            let mut feats = Features::new(page, cfg);
             let mut scored: Vec<(f64, Vec<Rec>)> = candidates
                 .into_iter()
                 .map(|p| (feats.cohesion(&p), p))

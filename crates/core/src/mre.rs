@@ -8,6 +8,7 @@
 //! group. Unlike ViNTs, *every* group's best MR is kept, not just the
 //! dominant one — that is the paper's stated difference.
 
+use crate::cache::DistanceCache;
 use crate::config::MseConfig;
 use crate::features::{Features, Rec};
 use crate::page::Page;
@@ -17,18 +18,20 @@ use mse_render::LineType;
 use std::collections::{BTreeMap, HashSet};
 
 /// A line signature: compact-path tag sequence + line type + position.
-/// Records of one section start with lines sharing a signature.
+/// Records of one section start with lines sharing a signature. Borrows
+/// the tag names from the page — signature grouping touches every line
+/// and must not clone per-step `String`s.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct Sig {
-    tags: Vec<String>,
+struct Sig<'a> {
+    tags: Vec<&'a str>,
     ltype: LineType,
     pos: i32,
 }
 
-fn sig_of(page: &Page, line: usize) -> Sig {
+fn sig_of(page: &Page, line: usize) -> Sig<'_> {
     let l = &page.rp.lines[line];
     Sig {
-        tags: l.path.steps.iter().map(|s| s.tag.clone()).collect(),
+        tags: l.path.steps.iter().map(|s| s.tag.as_str()).collect(),
         ltype: l.ltype,
         pos: l.pos,
     }
@@ -36,6 +39,11 @@ fn sig_of(page: &Page, line: usize) -> Sig {
 
 /// Extract all multi-record sections from a page.
 pub fn mre(page: &Page, cfg: &MseConfig) -> Vec<SectionInst> {
+    mre_cached(page, cfg, &DistanceCache::disabled())
+}
+
+/// [`mre`] with a shared distance memo (see [`DistanceCache`]).
+pub fn mre_cached(page: &Page, cfg: &MseConfig, cache: &DistanceCache) -> Vec<SectionInst> {
     let n = page.n_lines();
     if n == 0 {
         return vec![];
@@ -56,7 +64,7 @@ pub fn mre(page: &Page, cfg: &MseConfig) -> Vec<SectionInst> {
         }
     }
 
-    let mut feats = Features::new(page, cfg);
+    let mut feats = Features::with_cache(page, cfg, cache);
     let mut tentative: Vec<SectionInst> = Vec::new();
     for (_sig, occs) in &keys {
         if occs.len() < cfg.min_pattern_repeat {
@@ -180,13 +188,21 @@ fn candidates_from_run(
         }
         if j - i >= cfg.min_pattern_repeat {
             let slice = &records[i..j];
-            // Visual similarity verification: mean consecutive distance.
+            // Visual similarity verification: mean consecutive distance,
+            // evaluated under a budget so a clearly dissimilar run stops
+            // paying for full distance computations early.
+            let budget = cfg.mre_sim_threshold * (slice.len() - 1) as f64;
             let mut sum = 0.0;
+            let mut similar = true;
             for w in slice.windows(2) {
-                sum += feats.drec(w[0], w[1]);
+                let d = feats.drec_bounded(w[0], w[1], budget - sum);
+                if !d.is_finite() {
+                    similar = false;
+                    break;
+                }
+                sum += d;
             }
-            let avg = sum / (slice.len() - 1) as f64;
-            if avg <= cfg.mre_sim_threshold {
+            if similar && sum <= budget {
                 out.push(SectionInst::from_records(slice.to_vec()));
             }
         }

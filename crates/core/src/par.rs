@@ -1,0 +1,82 @@
+//! Minimal std-only fork-join helper for the pipeline's page-level and
+//! pair-level fan-out.
+//!
+//! Work is split into contiguous index chunks, one scoped thread per
+//! chunk, each writing results into its own pre-allocated slots — so the
+//! output order is the input order and results are **identical for any
+//! thread count** (determinism is part of the pipeline's contract, see
+//! DESIGN.md "Performance architecture"). With `threads <= 1` (or a
+//! single item) no thread is spawned at all, reproducing the serial
+//! execution path exactly.
+
+/// Resolve a thread-count knob: `0` means "use all available cores".
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `items` with up to `threads` workers (0 = all cores),
+/// preserving input order in the output.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (c, slots) in out.chunks_mut(chunk).enumerate() {
+            let base = c * chunk;
+            let f = &f;
+            scope.spawn(move || {
+                for (k, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + k, &items[base + k]));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map(&items, threads, |i, x| {
+                assert_eq!(i, *x);
+                x * x
+            });
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u8> = vec![];
+        assert!(par_map(&none, 4, |_, x| *x).is_empty());
+        assert_eq!(par_map(&[5u8], 4, |_, x| *x + 1), vec![6]);
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

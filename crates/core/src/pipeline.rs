@@ -1,14 +1,15 @@
 //! The MSE pipeline (paper §3, steps 1–9): wrapper construction from
 //! sample pages and extraction from new pages.
 
+use crate::cache::DistanceCache;
 use crate::config::MseConfig;
-use crate::dse::{csbm_flags, identify_dss};
-use crate::family::{apply_family, build_families, FamilyWrapper};
-use crate::granularity::granularity;
-use crate::grouping::group_instances;
-use crate::mre::mre;
+use crate::dse::{csbm_flags_cached, identify_dss};
+use crate::family::{apply_family_with, build_families, FamilyWrapper};
+use crate::granularity::granularity_with;
+use crate::grouping::group_instances_cached;
+use crate::mre::mre_cached;
 use crate::page::Page;
-use crate::refine::refine;
+use crate::refine::refine_with;
 use crate::section::SectionInst;
 use crate::wrapper::{apply_wrapper, build_wrapper, SectionWrapper};
 use mse_dom::NodeId;
@@ -110,17 +111,30 @@ impl Mse {
         &self,
         inputs: &[(&str, Option<&str>)],
     ) -> Result<SectionWrapperSet, BuildError> {
+        let cache = DistanceCache::new(self.cfg.enable_distance_cache);
+        self.build_with_queries_cached(inputs, &cache)
+    }
+
+    /// [`build_with_queries`] against a caller-owned [`DistanceCache`] —
+    /// lets benchmarks and diagnostics read the hit/miss counters after
+    /// the build. The cache must be fresh or previously used only with
+    /// this builder's config (memoized values bake the weights in).
+    pub fn build_with_queries_cached(
+        &self,
+        inputs: &[(&str, Option<&str>)],
+        cache: &DistanceCache,
+    ) -> Result<SectionWrapperSet, BuildError> {
         self.cfg.validate().map_err(BuildError::InvalidConfig)?;
         if inputs.len() < 2 {
             return Err(BuildError::TooFewPages(inputs.len()));
         }
-        let pages: Vec<Page> = inputs
-            .iter()
-            .map(|(html, q)| Page::from_html(html, *q))
-            .collect();
-        let sections = analyze_pages(&pages, &self.cfg);
+        let pages: Vec<Page> =
+            crate::par::par_map(inputs, self.cfg.effective_threads(), |_, (html, q)| {
+                Page::from_html(html, *q)
+            });
+        let sections = analyze_pages_cached(&pages, &self.cfg, cache);
 
-        let groups = group_instances(&pages, &sections, &self.cfg);
+        let groups = group_instances_cached(&pages, &sections, &self.cfg, cache);
         let mut wrappers: Vec<SectionWrapper> = groups
             .iter()
             .filter_map(|g| build_wrapper(&pages, &sections, g))
@@ -290,46 +304,59 @@ impl Mse {
 /// Run pipeline steps 2–6 on a set of pages: MRE, DSE, refinement and
 /// granularity repair. Returns per-page section instances.
 pub fn analyze_pages(pages: &[Page], cfg: &MseConfig) -> Vec<Vec<SectionInst>> {
-    let mrs: Vec<Vec<SectionInst>> = pages.iter().map(|p| mre(p, cfg)).collect();
-    let flags = csbm_flags(pages, &mrs, cfg);
-    pages
-        .iter()
-        .enumerate()
-        .map(|(i, page)| {
-            let dss = identify_dss(page, &flags[i]);
-            let secs = if cfg.enable_refine {
-                refine(page, cfg, &mrs[i], &dss, &flags[i])
-            } else {
-                // Ablation A1: no MR/DS cross-validation — keep every MR
-                // (static traps included) and mine every MR-free DS.
-                let mut secs = mrs[i].clone();
-                for ds in &dss {
-                    if !mrs[i].iter().any(|m| m.overlap(ds.start, ds.end) > 0) {
-                        let recs = crate::mining::mine_records(page, cfg, ds.start, ds.end);
-                        if !recs.is_empty() {
-                            secs.push(SectionInst::from_records(recs));
-                        }
+    let cache = DistanceCache::new(cfg.enable_distance_cache);
+    analyze_pages_cached(pages, cfg, &cache)
+}
+
+/// [`analyze_pages`] with a shared distance memo. The per-page MRE and
+/// refinement/granularity passes fan out over `cfg.threads` workers;
+/// outputs keep page order, so the result is identical to the serial run.
+pub fn analyze_pages_cached(
+    pages: &[Page],
+    cfg: &MseConfig,
+    cache: &DistanceCache,
+) -> Vec<Vec<SectionInst>> {
+    let threads = cfg.effective_threads();
+    let mrs: Vec<Vec<SectionInst>> =
+        crate::par::par_map(pages, threads, |_, p| mre_cached(p, cfg, cache));
+    let flags = csbm_flags_cached(pages, &mrs, cfg, cache);
+    crate::par::par_map(pages, threads, |i, page| {
+        // One Features calculator per page: refinement, granularity and all
+        // their mining calls share the page's tag forests and record keys.
+        let mut feats = crate::features::Features::with_cache(page, cfg, cache);
+        let dss = identify_dss(page, &flags[i]);
+        let secs = if cfg.enable_refine {
+            refine_with(&mut feats, &mrs[i], &dss, &flags[i])
+        } else {
+            // Ablation A1: no MR/DS cross-validation — keep every MR
+            // (static traps included) and mine every MR-free DS.
+            let mut secs = mrs[i].clone();
+            for ds in &dss {
+                if !mrs[i].iter().any(|m| m.overlap(ds.start, ds.end) > 0) {
+                    let recs = crate::mining::mine_records_with(&mut feats, ds.start, ds.end);
+                    if !recs.is_empty() {
+                        secs.push(SectionInst::from_records(recs));
                     }
                 }
-                secs.sort_by_key(|s| s.start);
-                secs
-            };
-            let mut secs = if cfg.enable_granularity {
-                granularity(page, cfg, secs)
-            } else {
-                secs
-            };
-            // Granularity can move section boundaries (merging slivers
-            // created by false CSBMs); re-derive every section's markers
-            // from the final spans so stale in-section pointers cannot
-            // poison the wrapper marker vote.
-            for sec in &mut secs {
-                sec.lbm = (0..sec.start).rev().find(|&l| flags[i][l]);
-                sec.rbm = (sec.end..page.n_lines()).find(|&l| flags[i][l]);
             }
+            secs.sort_by_key(|s| s.start);
             secs
-        })
-        .collect()
+        };
+        let mut secs = if cfg.enable_granularity {
+            granularity_with(&mut feats, secs)
+        } else {
+            secs
+        };
+        // Granularity can move section boundaries (merging slivers
+        // created by false CSBMs); re-derive every section's markers
+        // from the final spans so stale in-section pointers cannot
+        // poison the wrapper marker vote.
+        for sec in &mut secs {
+            sec.lbm = (0..sec.start).rev().find(|&l| flags[i][l]);
+            sec.rbm = (sec.end..page.n_lines()).find(|&l| flags[i][l]);
+        }
+        secs
+    })
 }
 
 /// A built wrapper set: concrete wrappers, families, and the config they
@@ -364,6 +391,11 @@ impl SectionWrapperSet {
     /// wrapper — one whose container swallows several sections — from
     /// shadowing the precise ones.
     pub fn extract_page(&self, page: &Page) -> Extraction {
+        self.extract_page_cached(page, &DistanceCache::disabled())
+    }
+
+    /// [`extract_page`] with a shared distance memo (see [`DistanceCache`]).
+    pub fn extract_page_cached(&self, page: &Page, cache: &DistanceCache) -> Extraction {
         let mut seen_nodes: Vec<NodeId> = Vec::new();
         let mut found: Vec<(SchemaId, SectionInst)> = Vec::new();
 
@@ -376,8 +408,9 @@ impl SectionWrapperSet {
                 found.push((SchemaId::Wrapper(i), sec));
             }
         }
+        let mut feats = crate::features::Features::with_cache(page, &self.cfg, cache);
         for (k, fam) in self.families.iter().enumerate() {
-            for (node, sec) in apply_family(page, &self.cfg, fam, &seen_nodes) {
+            for (node, sec) in apply_family_with(&mut feats, fam, &seen_nodes) {
                 seen_nodes.push(node);
                 found.push((SchemaId::Family(k), sec));
             }
@@ -442,6 +475,27 @@ impl SectionWrapperSet {
             .collect();
         sections.sort_by_key(|s| s.start);
         Extraction { sections }
+    }
+
+    /// Batch extraction: parse and extract every `(html, query)` input,
+    /// fanning pages out over `cfg.threads` workers and sharing one
+    /// distance memo. Results keep input order and are byte-identical to
+    /// calling [`SectionWrapperSet::extract_with_query`] per page.
+    pub fn extract_batch(&self, inputs: &[(&str, Option<&str>)]) -> Vec<Extraction> {
+        let cache = DistanceCache::new(self.cfg.enable_distance_cache);
+        self.extract_batch_cached(inputs, &cache)
+    }
+
+    /// [`extract_batch`] against a caller-owned [`DistanceCache`].
+    pub fn extract_batch_cached(
+        &self,
+        inputs: &[(&str, Option<&str>)],
+        cache: &DistanceCache,
+    ) -> Vec<Extraction> {
+        crate::par::par_map(inputs, self.cfg.effective_threads(), |_, (html, q)| {
+            let page = Page::from_html(html, *q);
+            self.extract_page_cached(&page, cache)
+        })
     }
 }
 

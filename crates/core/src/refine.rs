@@ -15,9 +15,10 @@
 //!   is discarded; a DS overlapping no MR is genuinely dynamic and goes to
 //!   record mining (§5.4).
 
+use crate::cache::DistanceCache;
 use crate::config::MseConfig;
 use crate::features::{Features, Rec};
-use crate::mining::mine_records;
+use crate::mining::mine_records_with;
 use crate::page::{floored, Page};
 use crate::section::SectionInst;
 
@@ -30,7 +31,31 @@ pub fn refine(
     dss: &[SectionInst],
     csbm: &[bool],
 ) -> Vec<SectionInst> {
-    let mut feats = Features::new(page, cfg);
+    refine_cached(page, cfg, mrs, dss, csbm, &DistanceCache::disabled())
+}
+
+/// [`refine`] with a shared distance memo (see [`DistanceCache`]).
+pub fn refine_cached(
+    page: &Page,
+    cfg: &MseConfig,
+    mrs: &[SectionInst],
+    dss: &[SectionInst],
+    csbm: &[bool],
+    cache: &DistanceCache,
+) -> Vec<SectionInst> {
+    let mut feats = Features::with_cache(page, cfg, cache);
+    refine_with(&mut feats, mrs, dss, csbm)
+}
+
+/// [`refine`] against a caller-owned [`Features`] calculator (shares tag
+/// forests and record keys with the rest of a page's analysis pass).
+pub(crate) fn refine_with(
+    feats: &mut Features,
+    mrs: &[SectionInst],
+    dss: &[SectionInst],
+    csbm: &[bool],
+) -> Vec<SectionInst> {
+    let cfg = feats.cfg;
     let mut out: Vec<SectionInst> = Vec::new();
 
     for ds in dss {
@@ -41,7 +66,7 @@ pub fn refine(
             .collect();
         if over.is_empty() {
             // Case 5 (DS side): genuinely dynamic, mine records directly.
-            let records = mine_records(page, cfg, ds.start, ds.end);
+            let records = mine_records_with(feats, ds.start, ds.end);
             if !records.is_empty() {
                 out.push(with_markers(SectionInst::from_records(records), csbm));
             }
@@ -53,7 +78,7 @@ pub fn refine(
         #[allow(unused_mut)]
         let mut aligned: Vec<SectionInst> = Vec::new();
         for mr in over {
-            if let Some(sec) = align_mr_in_ds(cfg, &mut feats, mr, ds) {
+            if let Some(sec) = align_mr_in_ds(cfg, feats, mr, ds) {
                 aligned.push(sec);
             }
         }
@@ -79,7 +104,7 @@ pub fn refine(
         }
 
         if aligned.is_empty() {
-            let records = mine_records(page, cfg, ds.start, ds.end);
+            let records = mine_records_with(feats, ds.start, ds.end);
             if !records.is_empty() {
                 out.push(with_markers(SectionInst::from_records(records), csbm));
             }
@@ -99,10 +124,10 @@ pub fn refine(
             .collect();
         for (k, mut sec) in aligned.into_iter().enumerate() {
             // Left gap [cursor, sec.start).
-            grow_left(cfg, &mut feats, &mut sec, cursor);
+            grow_left(cfg, feats, &mut sec, cursor);
             if sec.start > cursor {
                 // Leftover left gap is a new DS fragment.
-                let records = mine_records(page, cfg, cursor, sec.start);
+                let records = mine_records_with(feats, cursor, sec.start);
                 if !records.is_empty() {
                     grown.push(with_markers(SectionInst::from_records(records), csbm));
                 }
@@ -110,12 +135,12 @@ pub fn refine(
             // Right gap: grow only up to the next aligned section — two
             // same-format adjacent sections must never absorb each other.
             let _ = n_aligned;
-            grow_right(cfg, &mut feats, &mut sec, next_starts[k]);
+            grow_right(cfg, feats, &mut sec, next_starts[k]);
             cursor = sec.end;
             grown.push(with_markers(sec, csbm));
         }
         if cursor < ds.end {
-            let records = mine_records(page, cfg, cursor, ds.end);
+            let records = mine_records_with(feats, cursor, ds.end);
             if !records.is_empty() {
                 grown.push(with_markers(SectionInst::from_records(records), csbm));
             }
@@ -168,7 +193,7 @@ fn align_mr_in_ds(
     // discarded; otherwise the marker was false and br joins the section.
     while let Some(&br) = em_left.last() {
         let dinr = floored(feats.dinr(&ol), cfg);
-        if feats.davgrs(br, &ol) > cfg.w_threshold * dinr {
+        if feats.davgrs_exceeds(br, &ol, cfg.w_threshold * dinr) {
             break; // LBM verified; EM discarded
         }
         ol.insert(0, br);
@@ -176,7 +201,7 @@ fn align_mr_in_ds(
     }
     while let Some(&br) = em_right.first() {
         let dinr = floored(feats.dinr(&ol), cfg);
-        if feats.davgrs(br, &ol) > cfg.w_threshold * dinr {
+        if feats.davgrs_exceeds(br, &ol, cfg.w_threshold * dinr) {
             break; // RBM verified
         }
         ol.push(br);

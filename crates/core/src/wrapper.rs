@@ -562,7 +562,11 @@ mod marker_trim_tests {
             serp(&["one", "two", "three", "four"], "jazz festival"),
         ];
         let cfg = MseConfig::default();
-        let (pages, sections) = sections_of_pages(&htmls, &["knee injury", "digital camera", "jazz festival"], &cfg);
+        let (pages, sections) = sections_of_pages(
+            &htmls,
+            &["knee injury", "digital camera", "jazz festival"],
+            &cfg,
+        );
         let groups = group_instances(&pages, &sections, &cfg);
         let w = groups
             .iter()
@@ -575,7 +579,10 @@ mod marker_trim_tests {
             w.rbms
         );
         // Fresh page: the trailing more-row must not come back as a record.
-        let test = serp(&["mercury", "venus", "earth", "mars", "saturn"], "ocean climate");
+        let test = serp(
+            &["mercury", "venus", "earth", "mars", "saturn"],
+            "ocean climate",
+        );
         let page = Page::from_html(&test, Some("ocean climate"));
         let (_, sec) = apply_wrapper(&page, &cfg, &w, &[]).expect("extraction");
         assert_eq!(sec.records.len(), 5, "{sec:?}");

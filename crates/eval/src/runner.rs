@@ -46,14 +46,24 @@ pub fn score_engine(corpus: &Corpus, engine: &EngineSpec, cfg: &MseConfig) -> En
         .collect();
     let wrappers = Mse::new(cfg.clone()).build_with_queries(&refs).ok();
 
+    // Extract all pages in one batch (per-page fan-out over cfg.threads,
+    // one shared distance memo), then score in page order.
+    let pages: Vec<_> = (0..corpus.config.pages_per_engine)
+        .map(|q| engine.page(q))
+        .collect();
+    let extractions: Vec<mse_core::Extraction> = match &wrappers {
+        Some(w) => {
+            let page_refs: Vec<(&str, Option<&str>)> = pages
+                .iter()
+                .map(|p| (p.html.as_str(), Some(p.query.as_str())))
+                .collect();
+            w.extract_batch(&page_refs)
+        }
+        None => pages.iter().map(|_| Default::default()).collect(),
+    };
     let mut score = EngineScore::default();
-    for q in 0..corpus.config.pages_per_engine {
-        let page = engine.page(q);
-        let ex = match &wrappers {
-            Some(w) => w.extract_with_query(&page.html, Some(&page.query)),
-            None => Default::default(),
-        };
-        let ps = score_page(&page.truth, &ex);
+    for (q, (page, ex)) in pages.iter().zip(&extractions).enumerate() {
+        let ps = score_page(&page.truth, ex);
         if q < corpus.config.n_sample_pages {
             score.sample.add(&ps);
         } else {

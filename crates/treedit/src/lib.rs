@@ -18,8 +18,10 @@ pub mod tagtree;
 pub mod zs;
 
 pub use sed::{
-    levenshtein, string_edit_distance, string_edit_distance_norm, string_edit_distance_norm_with,
-    string_edit_distance_with,
+    levenshtein, string_edit_distance, string_edit_distance_bounded, string_edit_distance_norm,
+    string_edit_distance_norm_with, string_edit_distance_with,
 };
-pub use tagtree::{forest_distance, forest_of, norm_tree_distance, TagTree};
+pub use tagtree::{
+    forest_distance, forest_distance_bounded, forest_of, norm_tree_distance, TagTree,
+};
 pub use zs::tree_edit_distance;

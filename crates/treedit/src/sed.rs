@@ -44,6 +44,97 @@ where
     prev[n]
 }
 
+/// Bounded string edit distance (Ukkonen's banded algorithm).
+///
+/// Computes the same value as [`string_edit_distance_with`] whenever that
+/// value is `<= bound`; when the true distance exceeds `bound` it returns
+/// `f64::INFINITY` instead (possibly without filling the DP table at all).
+/// Three cutoffs make it cheap:
+///
+/// 1. **Size lower bound** — aligning sequences of lengths `m` and `n`
+///    needs at least `|m - n|` indels (substitutions preserve length), so
+///    if `|m - n| * indel > bound` the table is never touched.
+/// 2. **Ukkonen band** — a cell `(i, j)` with `|i - j| * indel > bound`
+///    cannot lie on a path of cost `<= bound`, so only the diagonal band
+///    of half-width `floor(bound / indel)` is filled.
+/// 3. **Row early-exit** — every alignment path crosses each row, so once
+///    the running minimum of a row exceeds `bound` the final distance
+///    must too.
+///
+/// `sub` must be non-negative for the cutoffs to be sound (the usual
+/// `[0, 2]` substitution costs are).
+pub fn string_edit_distance_bounded<T, F>(
+    a: &[T],
+    b: &[T],
+    mut sub: F,
+    indel: f64,
+    bound: f64,
+) -> f64
+where
+    F: FnMut(&T, &T) -> f64,
+{
+    if bound < 0.0 {
+        return f64::INFINITY;
+    }
+    let (m, n) = (a.len(), b.len());
+    // Cutoff 1: indel-count lower bound.
+    if m.abs_diff(n) as f64 * indel > bound {
+        return f64::INFINITY;
+    }
+    if m == 0 || n == 0 {
+        return m.max(n) as f64 * indel;
+    }
+    // Cutoff 2: half-width of the reachable diagonal band.
+    let band = if indel > 0.0 {
+        ((bound / indel).floor() as usize).min(m.max(n))
+    } else {
+        m.max(n)
+    };
+    const INF: f64 = f64::INFINITY;
+    let mut prev: Vec<f64> = (0..=n)
+        .map(|j| if j <= band { j as f64 * indel } else { INF })
+        .collect();
+    let mut cur = vec![INF; n + 1];
+    for (i, ai) in a.iter().enumerate() {
+        let i1 = i + 1; // row index in the DP table
+        let lo = i1.saturating_sub(band).max(1);
+        let hi = (i1 + band).min(n);
+        if lo > hi {
+            return INF;
+        }
+        cur[lo - 1] = if i1 - (lo - 1) <= band && lo == 1 {
+            i1 as f64 * indel
+        } else {
+            INF
+        };
+        let mut row_min = cur[lo - 1];
+        for j1 in lo..=hi {
+            let bj = &b[j1 - 1];
+            let del = prev[j1] + indel;
+            let ins = cur[j1 - 1] + indel;
+            let rep = prev[j1 - 1] + sub(ai, bj);
+            let v = del.min(ins).min(rep);
+            cur[j1] = v;
+            if v < row_min {
+                row_min = v;
+            }
+        }
+        // Cutoff 3: the whole row already exceeds the bound.
+        if row_min > bound {
+            return INF;
+        }
+        if hi < n {
+            cur[hi + 1] = INF; // stale cell from two rows ago
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    if prev[n] > bound {
+        INF
+    } else {
+        prev[n]
+    }
+}
+
 /// Edit distance normalized by the longer sequence length (0 when both are
 /// empty). With a substitution cost bounded by 1 the result is in `[0, 1]`.
 pub fn string_edit_distance_norm<T, F>(a: &[T], b: &[T], sub: F) -> f64

@@ -106,6 +106,25 @@ pub fn forest_distance(a: &[TagTree], b: &[TagTree]) -> f64 {
     string_edit_distance_norm(a, b, norm_tree_distance)
 }
 
+/// Bounded variant of [`forest_distance`]: returns the exact value when it
+/// is `<= bound`, and `f64::INFINITY` otherwise — typically without filling
+/// the whole alignment table (see
+/// [`string_edit_distance_bounded`](crate::sed::string_edit_distance_bounded)).
+/// `bound` is in normalized units (`[0, 1]` like the result).
+pub fn forest_distance_bounded(a: &[TagTree], b: &[TagTree], bound: f64) -> f64 {
+    let m = a.len().max(b.len());
+    if m == 0 {
+        return 0.0;
+    }
+    let raw =
+        crate::sed::string_edit_distance_bounded(a, b, norm_tree_distance, 1.0, bound * m as f64);
+    if raw.is_finite() {
+        raw / m as f64
+    } else {
+        f64::INFINITY
+    }
+}
+
 /// Build the tag forest for a consecutive run of DOM nodes (e.g. a record's
 /// top-level nodes). Skips whitespace-only text and comments.
 pub fn forest_of(dom: &Dom, nodes: &[NodeId]) -> Vec<TagTree> {

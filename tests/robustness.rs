@@ -22,7 +22,9 @@ fn roughen(html: &str, salt: usize) -> String {
             .find(|t| rest.starts_with(**t))
             .copied();
         if let Some(tag) = droppable {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             match (k >> 33) % 4 {
                 0 => {} // drop the closing tag entirely
                 1 => {
@@ -75,8 +77,14 @@ fn wrappers_survive_tag_soup_test_pages() {
             soup_total += soup.total_records();
         }
     }
-    assert!(engines_checked >= 8, "too few engines built ({engines_checked})");
-    assert!(clean_total > 200, "clean extraction too small: {clean_total}");
+    assert!(
+        engines_checked >= 8,
+        "too few engines built ({engines_checked})"
+    );
+    assert!(
+        clean_total > 200,
+        "clean extraction too small: {clean_total}"
+    );
     // Tag soup may cost a little, but the wrappers must keep most records.
     assert!(
         soup_total * 10 >= clean_total * 9,
@@ -93,7 +101,10 @@ fn roughen_preserves_visible_text() {
     let clean_dom = mse::dom::parse(&page.html);
     let soup_dom = mse::dom::parse(&soup);
     let norm = |d: &mse::dom::Dom| -> String {
-        d.text_of(d.root()).split_whitespace().collect::<Vec<_>>().join(" ")
+        d.text_of(d.root())
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ")
     };
     assert_eq!(norm(&clean_dom), norm(&soup_dom));
 }

@@ -1,0 +1,349 @@
+//! Strategy trait and combinators for the vendored proptest stub.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values. Object-safe so `prop_oneof!` can mix
+/// differently-typed strategies behind `Box<dyn Strategy<Value = V>>`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<R, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        R: Strategy,
+        F: Fn(Self::Value) -> R,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Always the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, R, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    R: Strategy,
+    F: Fn(S::Value) -> R,
+{
+    type Value = R::Value;
+    fn generate(&self, rng: &mut TestRng) -> R::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (the engine behind `prop_oneof!`).
+pub struct Union<V> {
+    choices: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(choices: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        Union { choices }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.choices.len() as u64) as usize;
+        self.choices[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        match (hi - lo).checked_add(1) {
+            Some(width) => lo + rng.below(width),
+            // Full-domain range: every u64 is valid.
+            None => rng.next_u64(),
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($idx:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// String patterns
+// ---------------------------------------------------------------------------
+
+/// `&str` as a strategy: a simplified pattern language of literal characters
+/// and `[...]{m,n}` / `[...]{m}` character classes, matching how the test
+/// suite uses proptest's regex strategies (e.g. `"[a-z ]{0,12}"`).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class: Vec<char>;
+        if chars[i] == '[' {
+            let (cls, next) = parse_class(pattern, &chars, i + 1);
+            class = cls;
+            i = next;
+        } else {
+            class = vec![chars[i]];
+            i += 1;
+        }
+        let (min, max, next) = parse_quantifier(pattern, &chars, i);
+        i = next;
+        let n = min + rng.below((max - min) as u64 + 1) as usize;
+        for _ in 0..n {
+            out.push(class[rng.below(class.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+/// Parse a character class body starting just after `[`; returns the class
+/// alphabet and the index just past `]`.
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut class = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        // `a-z` range (a trailing `-` is a literal).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "invalid range in pattern `{pattern}`");
+            for c in lo..=hi {
+                class.push(c);
+            }
+            i += 3;
+        } else {
+            class.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(
+        i < chars.len() && !class.is_empty(),
+        "unsupported pattern `{pattern}` (expected non-empty `[...]` class)"
+    );
+    (class, i + 1)
+}
+
+/// Parse an optional `{m,n}` / `{m}` quantifier at `i`; returns
+/// `(min, max, next_index)`. Without a quantifier the atom appears once.
+fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unterminated quantifier in pattern `{pattern}`"))
+        + i;
+    let body: String = chars[i + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("bad quantifier"),
+            hi.trim().parse().expect("bad quantifier"),
+        ),
+        None => {
+            let n: usize = body.trim().parse().expect("bad quantifier");
+            (n, n)
+        }
+    };
+    assert!(min <= max, "empty quantifier in pattern `{pattern}`");
+    (min, max, close + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection;
+
+    #[test]
+    fn pattern_respects_class_and_length() {
+        let mut rng = TestRng::for_test("pattern");
+        for _ in 0..500 {
+            let s = "[a-c ]{2,5}".generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "bad length: {s:?}");
+            assert!(
+                s.chars().all(|c| matches!(c, 'a'..='c' | ' ')),
+                "bad char: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_and_fixed_quantifier() {
+        let mut rng = TestRng::for_test("lit");
+        let s = "x[0-1]{3}y".generate(&mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::for_test("combo");
+        let strat = (1usize..4, 0usize..3)
+            .prop_flat_map(|(n, m)| collection::vec(collection::vec(0.0f64..1.0, m), n));
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            for row in &v {
+                assert!(row.len() < 3);
+                assert!(row.iter().all(|x| (0.0..1.0).contains(x)));
+            }
+        }
+    }
+
+    #[test]
+    fn union_covers_choices() {
+        let mut rng = TestRng::for_test("union");
+        let u = Union::new(vec![
+            boxed(Just("a".to_string())),
+            boxed(Just("b".to_string())),
+        ]);
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..100 {
+            match u.generate(&mut rng).as_str() {
+                "a" => seen_a = true,
+                "b" => seen_b = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline drop-in for the subset of `rand` this workspace uses.
+//!
+//! The build environment cannot fetch crates, so `StdRng` here is a local
+//! xoshiro256++ (seeded through SplitMix64) rather than the upstream
+//! ChaCha12. It is deterministic for a given seed on every platform, which
+//! is the property the synthetic testbed actually relies on — but the
+//! generated stream differs from upstream `rand`, so corpus-derived numbers
+//! were re-baselined when this stub was introduced (see EXPERIMENTS.md).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: 64 random bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Marker for random generators, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`]
+/// (matching the `rand 0.10` split that makes callers import both traits).
+pub trait RngExt: Rng {
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: Rng + ?Sized> RngExt for T {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A 53-bit uniform draw in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The standard deterministic generator: xoshiro256++.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut st = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Ranges a value can be uniformly sampled from.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Multiply-shift bounded draw (Lemire, without the rejection step — the
+/// bias is at most 2⁻⁶⁴·n, far below anything the synthetic corpus can
+/// observe). `n` must be at most 2⁶⁴, which covers every integer range
+/// width including full-domain inclusive ranges.
+fn below(rng: &mut (impl RngCore + ?Sized), n: u128) -> u128 {
+    debug_assert!(n > 0 && n <= 1 << 64);
+    (rng.next_u64() as u128 * n) >> 64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + below(rng, width) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + below(rng, width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + (unit_f64(rng.next_u64()) as f32) * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let v = rng.random_range(4..=7);
+            assert!((4..=7).contains(&v));
+            let u = rng.random_range(0usize..3);
+            assert!(u < 3);
+            let f = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let n: i32 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "p=0.3 gave {hits}/10000");
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+}

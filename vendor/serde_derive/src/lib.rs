@@ -1,0 +1,424 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored offline `serde` stub.
+//!
+//! The build environment has no crates.io access, so this macro is written
+//! against `proc_macro` alone (no syn/quote). It supports exactly the item
+//! shapes this workspace derives on:
+//!
+//! - structs with named fields
+//! - tuple structs (newtype and n-ary)
+//! - unit structs
+//! - enums whose variants are unit, tuple, or named-field
+//!
+//! Generics, `#[serde(...)]` attributes and non-`String` map keys are not
+//! supported and fail loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn skip_attrs(toks: &mut Toks) {
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        // `#` is followed by a bracketed group (outer attribute).
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde_derive: malformed attribute near {other:?}"),
+        }
+    }
+}
+
+fn skip_vis(toks: &mut Toks) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            // `pub(crate)` etc.
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Toks) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn reject_generics(toks: &mut Toks, name: &str) {
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline stub");
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks: Toks = input.into_iter().peekable();
+    loop {
+        skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut toks);
+                reject_generics(&mut toks, &name);
+                let fields = match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => Fields::Unit,
+                };
+                return Item::Struct { name, fields };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut toks);
+                reject_generics(&mut toks, &name);
+                let body = match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                    other => panic!("serde_derive: expected enum body, found {other:?}"),
+                };
+                return Item::Enum {
+                    name,
+                    variants: parse_variants(body),
+                };
+            }
+            Some(TokenTree::Ident(_)) => {} // e.g. `union` would fall through and fail later
+            Some(_) => {}
+            None => panic!("serde_derive: no struct or enum found in derive input"),
+        }
+    }
+}
+
+/// Field names of a `{ ... }` field list. Types are skipped with
+/// angle-bracket tracking so commas inside `Vec<(String, Role)>` or
+/// `BTreeMap<String, usize>` do not end a field early.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_vis(&mut toks);
+        let name = expect_ident(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        names.push(name);
+        // Skip the type until a comma at angle depth 0 (or end of list).
+        let mut angle: i32 = 0;
+        for tok in toks.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Number of fields in a `( ... )` field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut segment_has_tokens = false;
+    let mut angle: i32 = 0;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if segment_has_tokens {
+                        count += 1;
+                    }
+                    segment_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut toks);
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                toks.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                toks.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Consume up to and including the trailing comma (discriminants are
+        // not supported and would fail the ident expectation above anyway).
+        for tok in toks.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn ser_named_body(fields: &[String], accessor: &dyn Fn(&str) -> String) -> String {
+    let mut s = String::from("::serde::Value::Map(::std::vec![");
+    for f in fields {
+        s.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
+            accessor(f)
+        ));
+    }
+    s.push_str("])");
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => ser_named_body(fs, &|f| format!("&self.{f}")),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let mut s = String::from("::serde::Value::Seq(::std::vec![");
+                    for i in 0..*n {
+                        s.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+                    }
+                    s.push_str("])");
+                    s
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let mut s = String::from("::serde::Value::Seq(::std::vec![");
+                            for b in &binds {
+                                s.push_str(&format!("::serde::Serialize::to_value({b}),"));
+                            }
+                            s.push_str("])");
+                            s
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                               (::std::string::String::from(\"{vn}\"), {inner})]),",
+                            binds.join(",")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let inner = ser_named_body(fs, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                               (::std::string::String::from(\"{vn}\"), {inner})]),",
+                            fs.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} \
+                 }}"
+            )
+        }
+    }
+}
+
+fn de_named_body(type_name: &str, path: &str, fields: &[String], map_expr: &str) -> String {
+    let mut s = format!("{path} {{");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::de::field({map_expr}, \"{f}\", \"{type_name}\")?)?,"
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(fs) => {
+                let ctor = de_named_body(name, name, fs, "m");
+                format!(
+                    "let m = ::serde::de::expect_map(v, \"{name}\")?; \
+                     ::std::result::Result::Ok({ctor})"
+                )
+            }
+            Fields::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            Fields::Tuple(n) => {
+                let mut args = String::new();
+                for i in 0..*n {
+                    args.push_str(&format!("::serde::Deserialize::from_value(&s[{i}])?,"));
+                }
+                format!(
+                    "let s = ::serde::de::expect_seq(v, {n}, \"{name}\")?; \
+                     ::std::result::Result::Ok({name}({args}))"
+                )
+            }
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        },
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let label = format!("{name}::{vn}");
+                match &v.fields {
+                    Fields::Unit => str_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    Fields::Tuple(1) => map_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                           ::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut args = String::new();
+                        for i in 0..*n {
+                            args.push_str(&format!("::serde::Deserialize::from_value(&s[{i}])?,"));
+                        }
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                               let s = ::serde::de::expect_seq(inner, {n}, \"{label}\")?; \
+                               ::std::result::Result::Ok({name}::{vn}({args})) }}"
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let ctor = de_named_body(&label, &format!("{name}::{vn}"), fs, "mm");
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                               let mm = ::serde::de::expect_map(inner, \"{label}\")?; \
+                               ::std::result::Result::Ok({ctor}) }}"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{ \
+                   ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {str_arms} \
+                     other => ::std::result::Result::Err(::serde::de::unknown_variant(other, \"{name}\")), \
+                   }}, \
+                   ::serde::Value::Map(m) if m.len() == 1 => {{ \
+                     let k = &m[0].0; \
+                     let inner = &m[0].1; \
+                     let _ = inner; \
+                     match k.as_str() {{ \
+                       {map_arms} \
+                       other => ::std::result::Result::Err(::serde::de::unknown_variant(other, \"{name}\")), \
+                     }} \
+                   }} \
+                   _ => ::std::result::Result::Err(::serde::de::invalid_value(\"{name}\")), \
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}

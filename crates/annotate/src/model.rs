@@ -187,6 +187,7 @@ mod tests {
                 &["Alpha title", "first snippet body text", "www.s.com/a"],
                 &["Beta title", "second snippet body text", "www.s.com/b"],
             ])],
+            diagnostics: vec![],
         };
         let (_, annotated) = annotate_extraction(&ex);
         assert_eq!(annotated.len(), 1);

@@ -198,7 +198,10 @@ pub fn mdr_extract(html: &str, cfg: &MdrConfig) -> Extraction {
         }
     }
     sections.sort_by_key(|s| s.start);
-    Extraction { sections }
+    Extraction {
+        sections,
+        diagnostics: vec![],
+    }
 }
 
 fn lines_of(page: &RenderedPage, nodes: &[NodeId]) -> Option<(usize, usize)> {

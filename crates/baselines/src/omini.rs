@@ -105,6 +105,7 @@ pub fn omini_extract(html: &str) -> Extraction {
             end,
             records,
         }],
+        diagnostics: vec![],
     }
 }
 

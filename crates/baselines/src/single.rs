@@ -23,6 +23,7 @@ pub fn single_section_extract(
         sections: best
             .map(|i| vec![full.sections[i].clone()])
             .unwrap_or_default(),
+        diagnostics: vec![],
     }
 }
 

@@ -18,6 +18,13 @@
 //! Sample-page arguments take the form `path[:query]`; passing the query
 //! lets the builder strip its terms as dynamic components (paper §5.2).
 
+// Panic-free policy: the library target must not unwrap/expect/panic on
+// any input — failures surface as `CliError` with a meaningful exit code.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 use mse_annotate::annotate_extraction;
 use mse_core::{Mse, MseConfig, SectionWrapperSet};
 use mse_eval::{run_corpus, section_table};
@@ -26,20 +33,77 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-/// CLI error: message for the user, non-zero exit.
+/// CLI error: message for the user plus the process exit code
+/// (sysexits-inspired, see the constructors).
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    pub message: String,
+    /// `2` usage, `65` bad input data (build/extract/wrapper failures),
+    /// `66` cannot read an input file, `70` internal, `73` cannot write
+    /// an output file.
+    pub code: i32,
+}
+
+impl CliError {
+    /// Bad command line (unknown command, missing/invalid flag). Exit 2.
+    pub fn usage(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
+    }
+
+    /// Input files exist but their content is unusable (wrapper
+    /// construction failed, malformed wrapper JSON). Exit 65 (EX_DATAERR).
+    pub fn data(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 65,
+        }
+    }
+
+    /// An input file cannot be read. Exit 66 (EX_NOINPUT).
+    pub fn no_input(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 66,
+        }
+    }
+
+    /// A bug-shaped failure (serialization of our own data, formatting).
+    /// Exit 70 (EX_SOFTWARE).
+    pub fn internal(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 70,
+        }
+    }
+
+    /// An output file cannot be created or written. Exit 73 (EX_CANTCREAT).
+    pub fn cant_create(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 73,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for CliError {}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
-    Err(CliError(msg.into()))
+    Err(CliError::usage(msg))
+}
+
+/// `writeln!` into a `String` cannot fail, but the library target bans
+/// `unwrap`; route the impossible error into a typed one instead.
+fn fmt_err(e: std::fmt::Error) -> CliError {
+    CliError::internal(format!("report formatting failed: {e}"))
 }
 
 /// Entry point; returns the text to print.
@@ -107,19 +171,20 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     let seed: u64 = opt(&opts, "seed")
         .unwrap_or("2006")
         .parse()
-        .map_err(|_| CliError("bad --seed".into()))?;
+        .map_err(|_| CliError::usage("bad --seed"))?;
     let engine_id: usize = opt(&opts, "engine")
         .unwrap_or("0")
         .parse()
-        .map_err(|_| CliError("bad --engine".into()))?;
+        .map_err(|_| CliError::usage("bad --engine"))?;
     let pages: usize = opt(&opts, "pages")
         .unwrap_or("10")
         .parse()
-        .map_err(|_| CliError("bad --pages".into()))?;
+        .map_err(|_| CliError::usage("bad --pages"))?;
     let Some(out) = opt(&opts, "out") else {
         return err("gen requires --out DIR");
     };
-    fs::create_dir_all(out).map_err(|e| CliError(format!("cannot create {out}: {e}")))?;
+    fs::create_dir_all(out)
+        .map_err(|e| CliError::cant_create(format!("cannot create {out}: {e}")))?;
     let engine = EngineSpec::generate(seed, engine_id);
     let mut report = format!(
         "engine {} ({}, {} schema(s))\n",
@@ -131,10 +196,10 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
         let page = engine.page(q);
         let html_path = Path::new(out).join(format!("page{q}.html"));
         let truth_path = Path::new(out).join(format!("page{q}.truth.json"));
-        fs::write(&html_path, &page.html).map_err(|e| CliError(e.to_string()))?;
-        let truth =
-            serde_json::to_string_pretty(&page.truth).map_err(|e| CliError(e.to_string()))?;
-        fs::write(&truth_path, truth).map_err(|e| CliError(e.to_string()))?;
+        fs::write(&html_path, &page.html).map_err(|e| CliError::cant_create(e.to_string()))?;
+        let truth = serde_json::to_string_pretty(&page.truth)
+            .map_err(|e| CliError::internal(e.to_string()))?;
+        fs::write(&truth_path, truth).map_err(|e| CliError::cant_create(e.to_string()))?;
         writeln!(
             report,
             "  wrote {} (query {:?}, {} sections, {} records)",
@@ -143,7 +208,7 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
             page.truth.sections.len(),
             page.truth.total_records()
         )
-        .unwrap();
+        .map_err(fmt_err)?;
     }
     Ok(report)
 }
@@ -166,8 +231,8 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
             }
             _ => (spec.as_str(), None),
         };
-        let html =
-            fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+        let html = fs::read_to_string(path)
+            .map_err(|e| CliError::no_input(format!("cannot read {path}: {e}")))?;
         samples.push((html, query));
     }
     let refs: Vec<(&str, Option<&str>)> = samples
@@ -176,9 +241,9 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         .collect();
     let ws = Mse::new(MseConfig::default())
         .build_with_queries(&refs)
-        .map_err(|e| CliError(format!("wrapper construction failed: {e}")))?;
-    let json = serde_json::to_string_pretty(&ws).map_err(|e| CliError(e.to_string()))?;
-    fs::write(out, json).map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+        .map_err(|e| CliError::data(format!("wrapper construction failed: {e}")))?;
+    let json = serde_json::to_string_pretty(&ws).map_err(|e| CliError::internal(e.to_string()))?;
+    fs::write(out, json).map_err(|e| CliError::cant_create(format!("cannot write {out}: {e}")))?;
     Ok(format!(
         "wrote {out}: {} wrapper(s), {} family(ies), built from {} sample pages\n",
         ws.wrappers.len(),
@@ -197,25 +262,28 @@ fn cmd_extract(args: &[String]) -> Result<String, CliError> {
     }
     let mut ws: SectionWrapperSet = serde_json::from_str(
         &fs::read_to_string(wrapper_path)
-            .map_err(|e| CliError(format!("cannot read {wrapper_path}: {e}")))?,
+            .map_err(|e| CliError::no_input(format!("cannot read {wrapper_path}: {e}")))?,
     )
-    .map_err(|e| CliError(format!("bad wrapper file: {e}")))?;
+    .map_err(|e| CliError::data(format!("bad wrapper file: {e}")))?;
     if let Some(t) = opt(&opts, "threads") {
-        ws.cfg.threads = t.parse().map_err(|_| CliError("bad --threads".into()))?;
+        ws.cfg.threads = t.parse().map_err(|_| CliError::usage("bad --threads"))?;
     }
     if pos.len() > 1 {
         return cmd_extract_batch(&opts, &pos, &ws);
     }
     let page_path = &pos[0];
     let html = fs::read_to_string(page_path)
-        .map_err(|e| CliError(format!("cannot read {page_path}: {e}")))?;
+        .map_err(|e| CliError::no_input(format!("cannot read {page_path}: {e}")))?;
     let ex = ws.extract_with_query(&html, opt(&opts, "query"));
 
     if opt(&opts, "json").is_some() {
-        return serde_json::to_string_pretty(&ex).map_err(|e| CliError(e.to_string()));
+        return serde_json::to_string_pretty(&ex).map_err(|e| CliError::internal(e.to_string()));
     }
     let mut out = String::new();
     let annotated = opt(&opts, "annotate").map(|_| annotate_extraction(&ex).1);
+    for d in &ex.diagnostics {
+        writeln!(out, "note: {d}").map_err(fmt_err)?;
+    }
     for (i, sec) in ex.sections.iter().enumerate() {
         writeln!(
             out,
@@ -224,18 +292,18 @@ fn cmd_extract(args: &[String]) -> Result<String, CliError> {
             sec.schema,
             sec.records.len()
         )
-        .unwrap();
+        .map_err(fmt_err)?;
         for (j, rec) in sec.records.iter().enumerate() {
             match &annotated {
                 Some(ann) => {
                     for (text, role) in &ann[i][j].lines {
-                        writeln!(out, "  [{role:?}] {text}").unwrap();
+                        writeln!(out, "  [{role:?}] {text}").map_err(fmt_err)?;
                     }
                 }
-                None => writeln!(out, "  • {}", rec.lines.join(" ⏎ ")).unwrap(),
+                None => writeln!(out, "  • {}", rec.lines.join(" ⏎ ")).map_err(fmt_err)?,
             }
             if annotated.is_some() {
-                writeln!(out).unwrap();
+                writeln!(out).map_err(fmt_err)?;
             }
         }
     }
@@ -245,7 +313,7 @@ fn cmd_extract(args: &[String]) -> Result<String, CliError> {
         ex.sections.len(),
         ex.total_records()
     )
-    .unwrap();
+    .map_err(fmt_err)?;
     Ok(out)
 }
 
@@ -259,12 +327,15 @@ fn cmd_extract_batch(
     let query = opt(opts, "query");
     let htmls: Vec<String> = pages
         .iter()
-        .map(|p| fs::read_to_string(p).map_err(|e| CliError(format!("cannot read {p}: {e}"))))
+        .map(|p| {
+            fs::read_to_string(p).map_err(|e| CliError::no_input(format!("cannot read {p}: {e}")))
+        })
         .collect::<Result<_, _>>()?;
     let inputs: Vec<(&str, Option<&str>)> = htmls.iter().map(|h| (h.as_str(), query)).collect();
     let extractions = ws.extract_batch(&inputs);
     if opt(opts, "json").is_some() {
-        return serde_json::to_string_pretty(&extractions).map_err(|e| CliError(e.to_string()));
+        return serde_json::to_string_pretty(&extractions)
+            .map_err(|e| CliError::internal(e.to_string()));
     }
     let mut out = String::new();
     for (path, ex) in pages.iter().zip(&extractions) {
@@ -274,7 +345,7 @@ fn cmd_extract_batch(
             ex.sections.len(),
             ex.total_records()
         )
-        .unwrap();
+        .map_err(fmt_err)?;
     }
     Ok(out)
 }
@@ -284,9 +355,9 @@ fn cmd_eval(args: &[String]) -> Result<String, CliError> {
     let seed: u64 = opt(&opts, "seed")
         .unwrap_or("2006")
         .parse()
-        .map_err(|_| CliError("bad --seed".into()))?;
+        .map_err(|_| CliError::usage("bad --seed"))?;
     let threads: usize = opt(&opts, "threads")
-        .map(|t| t.parse().map_err(|_| CliError("bad --threads".into())))
+        .map(|t| t.parse().map_err(|_| CliError::usage("bad --threads")))
         .transpose()?
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -454,5 +525,29 @@ mod tests {
         ]))
         .is_err());
         assert!(run(&s(&["extract", "--wrapper", "nope.json", "p.html"])).is_err());
+    }
+
+    #[test]
+    fn exit_codes_distinguish_failure_kinds() {
+        // Unknown command and bad flag values are usage errors (2).
+        assert_eq!(run(&s(&["bogus"])).unwrap_err().code, 2);
+        assert_eq!(run(&s(&["gen", "--seed", "xyz"])).unwrap_err().code, 2);
+        // A missing input file is EX_NOINPUT (66).
+        let e = run(&s(&["extract", "--wrapper", "nope.json", "p.html"])).unwrap_err();
+        assert_eq!(e.code, 66);
+        // A wrapper file with unusable content is EX_DATAERR (65).
+        let dir = std::env::temp_dir().join(format!("mse-cli-codes-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let wpath = dir.join("bad.json");
+        fs::write(&wpath, "not json at all").unwrap();
+        let e = run(&s(&[
+            "extract",
+            "--wrapper",
+            wpath.to_str().unwrap(),
+            "p.html",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, 65, "{e}");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

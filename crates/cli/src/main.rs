@@ -1,4 +1,7 @@
 //! The `mse` binary — see [`mse_cli::usage`].
+//!
+//! Exit codes follow `CliError`: 2 usage, 65 bad input data, 66 missing
+//! input file, 70 internal, 73 cannot write output.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -6,7 +9,7 @@ fn main() {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.code);
         }
     }
 }

@@ -60,11 +60,15 @@ impl DistanceCache {
     }
 
     /// Intern a content key, returning its stable (within this cache) id.
+    ///
+    /// Lock poisoning is recovered from rather than propagated: the memo
+    /// only caches pure distance computations, so a writer that panicked
+    /// mid-insert leaves at worst a missing entry, never a wrong one.
     pub fn intern(&self, key: &str) -> u32 {
-        if let Some(&id) = self.keys.read().unwrap().get(key) {
+        if let Some(&id) = self.keys.read().unwrap_or_else(|p| p.into_inner()).get(key) {
             return id;
         }
-        let mut keys = self.keys.write().unwrap();
+        let mut keys = self.keys.write().unwrap_or_else(|p| p.into_inner());
         let next = keys.len() as u32;
         *keys.entry(key.to_string()).or_insert(next)
     }
@@ -90,7 +94,12 @@ impl DistanceCache {
             return compute(bound);
         }
         let key = if a <= b { (a, b) } else { (b, a) };
-        match self.pairs.read().unwrap().get(&key) {
+        match self
+            .pairs
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+        {
             Some(Memo::Exact(v)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return if *v <= bound { *v } else { f64::INFINITY };
@@ -103,7 +112,7 @@ impl DistanceCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = compute(bound);
-        let mut pairs = self.pairs.write().unwrap();
+        let mut pairs = self.pairs.write().unwrap_or_else(|p| p.into_inner());
         if v.is_finite() {
             pairs.insert(key, Memo::Exact(v));
         } else {

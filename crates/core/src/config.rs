@@ -23,6 +23,98 @@ pub enum MiningMode {
     NaiveFirstSeparator,
 }
 
+/// Resource limits for ingesting one untrusted result page.
+///
+/// Each limit bounds one stage of the ingestion path (parse → render →
+/// extract). During **build** a trip is a hard, typed error
+/// ([`BuildError::Page`](crate::error::BuildError)); during **extraction**
+/// parse-stage trips yield an empty result with a diagnostic and
+/// render/extract-stage trips yield a *partial* result with a diagnostic
+/// (see [`crate::error`]). Defaults are generous: any realistic result
+/// page fits with two orders of magnitude to spare, so well-formed
+/// corpora produce byte-identical output with or without the budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ResourceBudget {
+    /// Maximum HTML input size in bytes.
+    pub max_input_bytes: usize,
+    /// Maximum DOM nodes a page may parse into.
+    pub max_dom_nodes: usize,
+    /// Nesting depth at which the parser flattens (it never errors on
+    /// depth — matching browser behaviour on pathological nesting).
+    pub max_depth: usize,
+    /// Maximum content lines a page may render into.
+    pub max_content_lines: usize,
+    /// Maximum records reported per extracted section; extra records are
+    /// dropped with a diagnostic.
+    pub max_records_per_section: usize,
+    /// Optional wall-clock deadline per pipeline stage, in milliseconds.
+    /// `None` = unlimited. Checked at stage boundaries, so a stage may
+    /// overshoot before the trip is noticed.
+    pub stage_deadline_ms: Option<u64>,
+}
+
+impl Default for ResourceBudget {
+    fn default() -> Self {
+        ResourceBudget {
+            max_input_bytes: 8 << 20, // 8 MiB
+            max_dom_nodes: 1_000_000,
+            max_depth: mse_dom::DEFAULT_MAX_DEPTH,
+            max_content_lines: 20_000,
+            max_records_per_section: 5_000,
+            stage_deadline_ms: None,
+        }
+    }
+}
+
+impl ResourceBudget {
+    /// A budget that disables every limit (depth still clamps — the
+    /// parser always flattens to keep downstream recursion bounded).
+    pub fn unbounded() -> ResourceBudget {
+        ResourceBudget {
+            max_input_bytes: usize::MAX,
+            max_dom_nodes: usize::MAX,
+            max_depth: mse_dom::DEFAULT_MAX_DEPTH,
+            max_content_lines: usize::MAX,
+            max_records_per_section: usize::MAX,
+            stage_deadline_ms: None,
+        }
+    }
+
+    /// The parser-side slice of the budget.
+    pub fn parse_limits(&self) -> mse_dom::ParseLimits {
+        mse_dom::ParseLimits {
+            max_input_bytes: self.max_input_bytes,
+            max_nodes: self.max_dom_nodes,
+            max_depth: self.max_depth,
+        }
+    }
+
+    /// Validate sanity constraints; returns an error message on the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_input_bytes == 0 {
+            return Err("budget max_input_bytes must be positive".into());
+        }
+        if self.max_dom_nodes == 0 {
+            return Err("budget max_dom_nodes must be positive".into());
+        }
+        if self.max_depth < 4 {
+            return Err("budget max_depth must be at least 4".into());
+        }
+        if self.max_content_lines == 0 {
+            return Err("budget max_content_lines must be positive".into());
+        }
+        if self.max_records_per_section == 0 {
+            return Err("budget max_records_per_section must be positive".into());
+        }
+        if self.stage_deadline_ms == Some(0) {
+            return Err("budget stage_deadline_ms must be positive when set".into());
+        }
+        Ok(())
+    }
+}
+
 /// Pipeline configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MseConfig {
@@ -95,6 +187,10 @@ pub struct MseConfig {
     /// reference implementation (exact, unbounded, no memo) — results are
     /// identical either way; only wall-clock time changes.
     pub enable_distance_cache: bool,
+    /// Resource limits for untrusted page ingestion. `#[serde(default)]`
+    /// so configs saved before this field existed still deserialize.
+    #[serde(default)]
+    pub budget: ResourceBudget,
 }
 
 impl Default for MseConfig {
@@ -121,6 +217,7 @@ impl Default for MseConfig {
             mining: MiningMode::Cohesion,
             threads: 0,
             enable_distance_cache: true,
+            budget: ResourceBudget::default(),
         }
     }
 }
@@ -159,6 +256,7 @@ impl MseConfig {
         if self.min_pattern_repeat < 2 {
             return Err("min_pattern_repeat must be at least 2".into());
         }
+        self.budget.validate()?;
         Ok(())
     }
 
@@ -203,6 +301,45 @@ mod tests {
             ..MseConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_budget() {
+        let c = MseConfig {
+            budget: ResourceBudget {
+                max_content_lines: 0,
+                ..ResourceBudget::default()
+            },
+            ..MseConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = MseConfig {
+            budget: ResourceBudget {
+                stage_deadline_ms: Some(0),
+                ..ResourceBudget::default()
+            },
+            ..MseConfig::default()
+        };
+        assert!(c.validate().is_err());
+        assert!(ResourceBudget::unbounded().validate().is_ok());
+    }
+
+    #[test]
+    fn budget_defaults_when_missing_from_json() {
+        // Configs serialized before the budget field existed must still
+        // deserialize (serde(default) on the field and the struct).
+        let mut v = serde::Serialize::to_value(&MseConfig::default());
+        if let serde::Value::Map(m) = &mut v {
+            m.retain(|(k, _)| k != "budget");
+        } else {
+            panic!("config serializes to a map");
+        }
+        let c: MseConfig = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(c.budget, ResourceBudget::default());
+        // Partial budgets fill in the rest.
+        let b: ResourceBudget = serde_json::from_str(r#"{"max_input_bytes": 1024}"#).unwrap();
+        assert_eq!(b.max_input_bytes, 1024);
+        assert_eq!(b.max_dom_nodes, ResourceBudget::default().max_dom_nodes);
     }
 
     #[test]

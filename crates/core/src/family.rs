@@ -102,16 +102,18 @@ pub fn build_families(wrappers: &[SectionWrapper]) -> (Vec<FamilyWrapper>, Vec<u
             let steps = (0..first_tags.len())
                 .map(|lvl| MergedStep {
                     tag: first_tags[lvl].to_string(),
+                    // `members` always holds at least wrapper `i`, so the
+                    // min/max run over a non-empty iterator.
                     min_s: members
                         .iter()
                         .map(|&m| wrappers[m].pref.steps[lvl].min_s)
                         .min()
-                        .unwrap(),
+                        .unwrap_or(0),
                     max_s: members
                         .iter()
                         .map(|&m| wrappers[m].pref.steps[lvl].max_s)
                         .max()
-                        .unwrap(),
+                        .unwrap_or(0),
                 })
                 .collect();
             FamilyWrapper {
@@ -136,7 +138,7 @@ pub fn build_families(wrappers: &[SectionWrapper]) -> (Vec<FamilyWrapper>, Vec<u
                 .iter()
                 .map(|&m| wrappers[m].pref.steps.len())
                 .min()
-                .unwrap();
+                .unwrap_or(0);
             if plen == 0 || slen == 0 || plen + slen > min_len {
                 continue;
             }
@@ -305,11 +307,10 @@ pub(crate) fn apply_family_with(
                 records.remove(0);
             }
         }
-        if records.is_empty() {
+        let (Some(first), Some(last)) = (records.first(), records.last()) else {
             continue;
-        }
-        let start = records.first().unwrap().start;
-        let end = records.last().unwrap().end;
+        };
+        let (start, end) = (first.start, last.end);
         // The line before the section must look like a family header: its
         // attrs match the family marker attrs and no record line shares
         // them.

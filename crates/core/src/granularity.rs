@@ -95,8 +95,9 @@ fn fix_oversized(feats: &mut Features, sec: SectionInst) -> Vec<SectionInst> {
             (Some(a), Some(b)) => (a.clone(), b.clone()),
             _ => continue,
         };
-        let r1u = *r1_smalls.last().unwrap();
-        let r21 = *r2_smalls.first().unwrap();
+        let (Some(&r1u), Some(&r21)) = (r1_smalls.last(), r2_smalls.first()) else {
+            continue; // mined splits are never empty
+        };
         let d1 = floored(feats.dinr(&r1_smalls), cfg);
         let d2 = floored(feats.dinr(&r2_smalls), cfg);
         let foreign = feats.davgrs_exceeds(r21, &r1_smalls, cfg.w_threshold * d1)
@@ -145,7 +146,13 @@ fn fix_split_records(feats: &mut Features, sec: SectionInst) -> SectionInst {
         let merged: Vec<Rec> = sec
             .records
             .chunks(k)
-            .map(|c| Rec::new(c.first().unwrap().start, c.last().unwrap().end))
+            // `chunks` never yields an empty slice.
+            .map(|c| {
+                Rec::new(
+                    c.first().map_or(0, |r| r.start),
+                    c.last().map_or(0, |r| r.end),
+                )
+            })
             .collect();
         if merged.len() == 1 && n > 2 {
             // Collapsing a many-record section to one record is a section
@@ -222,7 +229,10 @@ fn merge_single_record_runs(feats: &mut Features, sections: Vec<SectionInst>) ->
             return true;
         }
         let (pi, pj) = (dom[ci].parent, dom[cj].parent);
-        if pi != pj || pi.is_none() {
+        let Some(parent) = pi else {
+            return false;
+        };
+        if pi != pj {
             return false;
         }
         if dom[ci].tag() != dom[cj].tag() {
@@ -230,7 +240,7 @@ fn merge_single_record_runs(feats: &mut Features, sections: Vec<SectionInst>) ->
         }
         // Dedicated container only: merging siblings directly under <body>
         // would fuse genuinely distinct one-record sections.
-        !matches!(dom[pi.unwrap()].tag(), Some("body") | Some("html") | None)
+        !matches!(dom[parent].tag(), Some("body") | Some("html") | None)
     };
 
     let mut out: Vec<SectionInst> = Vec::new();

@@ -48,9 +48,17 @@
 //! assert_eq!(extraction.sections[0].records.len(), 2);
 //! ```
 
+// Panic-free ingestion gate: untrusted HTML must never be able to abort
+// the process. Tests keep their unwraps (they run on trusted fixtures).
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod cache;
 pub mod config;
 pub mod dse;
+pub mod error;
 pub mod family;
 pub mod features;
 pub mod granularity;
@@ -66,7 +74,8 @@ pub mod section;
 pub mod wrapper;
 
 pub use cache::DistanceCache;
-pub use config::{MiningMode, MseConfig};
+pub use config::{MiningMode, MseConfig, ResourceBudget};
+pub use error::{Diagnostic, ExtractError, MseError, Stage};
 pub use family::FamilyWrapper;
 pub use features::{Features, Rec};
 pub use maintenance::{HealthReport, WrapperStatus};

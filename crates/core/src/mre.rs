@@ -74,7 +74,8 @@ pub fn mre_cached(page: &Page, cfg: &MseConfig, cache: &DistanceCache) -> Vec<Se
         let mut run: Vec<usize> = vec![occs[0]];
         let mut runs: Vec<Vec<usize>> = Vec::new();
         for &o in &occs[1..] {
-            if o - *run.last().unwrap() <= cfg.max_record_lines {
+            // `run` starts non-empty and never fully drains.
+            if o - run.last().copied().unwrap_or(0) <= cfg.max_record_lines {
                 run.push(o);
             } else {
                 runs.push(std::mem::take(&mut run));
@@ -161,7 +162,9 @@ fn candidates_from_run(
         allowed.extend(&sigs[r.start + 1..r.end]);
     }
     let max_gap = records.iter().map(Rec::len).max().unwrap_or(1);
-    let last_start = *run.last().unwrap();
+    let Some(&last_start) = run.last() else {
+        return vec![]; // callers pass runs of ≥ min_pattern_repeat anchors
+    };
     let mut last_end = last_start + 1;
     while last_end < page.n_lines()
         && last_end - last_start < max_gap

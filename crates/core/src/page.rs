@@ -1,8 +1,9 @@
 //! Pipeline-side page wrapper: rendered page + cleaned lines + cached
 //! per-line record features.
 
-use crate::config::MseConfig;
-use mse_render::{LineType, RenderedPage};
+use crate::config::{MseConfig, ResourceBudget};
+use crate::error::{Diagnostic, ExtractError, Stage};
+use mse_render::{render_lines_capped, LineType, RenderedPage};
 use mse_treedit::{forest_of, TagTree};
 
 /// Cleaned-text placeholder for an `<hr>` line (matches testbed's marker).
@@ -40,6 +41,51 @@ impl Page {
 
     pub fn from_html(html: &str, query: Option<&str>) -> Page {
         Page::new(RenderedPage::from_html(html), query)
+    }
+
+    /// Budget-aware ingestion of an untrusted page. Parse-stage budget
+    /// trips (input size, node count) are hard errors — there is no
+    /// meaningful partial DOM. A render-stage trip (line budget) degrades:
+    /// the page is truncated at the budget and the truncation is reported
+    /// as a [`Diagnostic`] so callers can surface a *partial* extraction.
+    pub fn try_from_html(
+        html: &str,
+        query: Option<&str>,
+        budget: &ResourceBudget,
+    ) -> Result<(Page, Vec<Diagnostic>), ExtractError> {
+        let dom = mse_dom::parse_with_limits(html, &budget.parse_limits())?;
+        let (lines, truncated) = render_lines_capped(&dom, budget.max_content_lines);
+        let mut diags = Vec::new();
+        if truncated {
+            diags.push(Diagnostic::new(
+                Stage::Render,
+                format!(
+                    "page truncated at the {}-content-line budget",
+                    budget.max_content_lines
+                ),
+            ));
+        }
+        Ok((Page::new(RenderedPage { dom, lines }, query), diags))
+    }
+
+    /// [`try_from_html`](Page::try_from_html) with render truncation
+    /// promoted to a hard error — used by the build path, where a wrapper
+    /// learned from a truncated sample would be silently wrong.
+    pub fn try_from_html_strict(
+        html: &str,
+        query: Option<&str>,
+        budget: &ResourceBudget,
+    ) -> Result<Page, ExtractError> {
+        let (page, diags) = Page::try_from_html(html, query, budget)?;
+        if diags.is_empty() {
+            Ok(page)
+        } else {
+            Err(ExtractError::Render(
+                mse_render::RenderError::LineBudgetExceeded {
+                    max: budget.max_content_lines,
+                },
+            ))
+        }
     }
 
     #[inline]

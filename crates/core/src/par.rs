@@ -45,9 +45,12 @@ where
             });
         }
     });
-    out.into_iter()
-        .map(|o| o.expect("worker filled slot"))
-        .collect()
+    // Every slot is filled: `scope` joins all workers before returning,
+    // and a panicking worker re-raises here. `flatten` instead of
+    // `expect` keeps the library target free of panic paths.
+    let res: Vec<R> = out.into_iter().flatten().collect();
+    debug_assert_eq!(res.len(), items.len());
+    res
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 use crate::cache::DistanceCache;
 use crate::config::MseConfig;
 use crate::dse::{csbm_flags_cached, identify_dss};
+use crate::error::{Diagnostic, ExtractError, Stage};
 use crate::family::{apply_family_with, build_families, FamilyWrapper};
 use crate::granularity::granularity_with;
 use crate::grouping::group_instances_cached;
@@ -14,7 +15,11 @@ use crate::section::SectionInst;
 use crate::wrapper::{apply_wrapper, build_wrapper, SectionWrapper};
 use mse_dom::NodeId;
 use serde::{Deserialize, Serialize};
-use std::fmt;
+use std::time::Instant;
+
+// Construction failures live in `crate::error`; re-exported here because
+// this was their original home.
+pub use crate::error::BuildError;
 
 /// Which learned rule produced an extracted section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,38 +54,68 @@ pub struct ExtractedSection {
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Extraction {
     pub sections: Vec<ExtractedSection>,
+    /// Non-fatal degradations hit while producing this result (resource
+    /// budget trips, deadline expiries). Empty on well-formed pages —
+    /// and skipped in JSON, so output stays byte-identical to builds
+    /// that predate the field.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Extraction {
     pub fn total_records(&self) -> usize {
         self.sections.iter().map(|s| s.records.len()).sum()
     }
-}
 
-/// Wrapper-construction failure.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum BuildError {
-    /// Fewer than two sample pages — DSE needs a pair.
-    TooFewPages(usize),
-    /// No certified section instance group was found.
-    NoSections,
-    /// The configuration violates its constraints.
-    InvalidConfig(String),
-}
-
-impl fmt::Display for BuildError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BuildError::TooFewPages(n) => {
-                write!(f, "MSE needs at least 2 sample pages, got {n}")
-            }
-            BuildError::NoSections => write!(f, "no certified section instances found"),
-            BuildError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+    /// An empty extraction carrying the reason the page produced nothing.
+    pub fn degraded(err: &ExtractError) -> Extraction {
+        Extraction {
+            sections: vec![],
+            diagnostics: vec![Diagnostic::new(err.stage(), err.to_string())],
         }
     }
 }
 
-impl std::error::Error for BuildError {}
+/// Per-stage wall-clock guard: [`ResourceBudget::stage_deadline_ms`]
+/// restarts at each stage boundary; the check is polled, so a stage may
+/// overshoot before the trip is noticed.
+///
+/// [`ResourceBudget::stage_deadline_ms`]: crate::config::ResourceBudget
+struct StageClock {
+    deadline_ms: Option<u64>,
+    start: Instant,
+}
+
+impl StageClock {
+    fn new(deadline_ms: Option<u64>) -> StageClock {
+        StageClock {
+            deadline_ms,
+            start: Instant::now(),
+        }
+    }
+
+    /// Begin the next stage (resets the clock).
+    fn next_stage(&mut self) {
+        if self.deadline_ms.is_some() {
+            self.start = Instant::now();
+        }
+    }
+
+    fn expired(&self) -> bool {
+        match self.deadline_ms {
+            Some(ms) => self.start.elapsed().as_millis() as u64 > ms,
+            None => false,
+        }
+    }
+
+    fn check(&self, stage: Stage) -> Result<(), BuildError> {
+        if self.expired() {
+            Err(BuildError::Deadline { stage })
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// The MSE wrapper builder.
 #[derive(Clone, Debug, Default)]
@@ -128,12 +163,26 @@ impl Mse {
         if inputs.len() < 2 {
             return Err(BuildError::TooFewPages(inputs.len()));
         }
-        let pages: Vec<Page> =
+        // Build is strict: a sample page that trips a resource budget is
+        // a hard error naming the input — a wrapper learned from a
+        // truncated sample would be silently wrong.
+        let budget = self.cfg.budget;
+        let mut clock = StageClock::new(budget.stage_deadline_ms);
+        let parsed: Vec<Result<Page, ExtractError>> =
             crate::par::par_map(inputs, self.cfg.effective_threads(), |_, (html, q)| {
-                Page::from_html(html, *q)
+                Page::try_from_html_strict(html, *q, &budget)
             });
-        let sections = analyze_pages_cached(&pages, &self.cfg, cache);
+        let mut pages: Vec<Page> = Vec::with_capacity(parsed.len());
+        for (index, page) in parsed.into_iter().enumerate() {
+            pages.push(page.map_err(|source| BuildError::Page { index, source })?);
+        }
+        clock.check(Stage::Parse)?;
 
+        clock.next_stage();
+        let sections = analyze_pages_cached(&pages, &self.cfg, cache);
+        clock.check(Stage::Analyze)?;
+
+        clock.next_stage();
         let groups = group_instances_cached(&pages, &sections, &self.cfg, cache);
         let mut wrappers: Vec<SectionWrapper> = groups
             .iter()
@@ -292,6 +341,7 @@ impl Mse {
         } else {
             (vec![], vec![])
         };
+        clock.check(Stage::Build)?;
         Ok(SectionWrapperSet {
             cfg: self.cfg.clone(),
             wrappers,
@@ -378,9 +428,42 @@ impl SectionWrapperSet {
 
     /// Extraction with the page's query known (mirrors build-time
     /// cleaning; only affects boundary-marker text comparison).
+    ///
+    /// Infallible by design: a page rejected by the parse budget yields
+    /// an empty [`Extraction`] whose `diagnostics` name the trip, and a
+    /// page truncated by the line budget yields a *partial* extraction
+    /// over the rendered prefix plus a diagnostic. Use
+    /// [`try_extract_with_query`](SectionWrapperSet::try_extract_with_query)
+    /// for typed errors instead.
     pub fn extract_with_query(&self, html: &str, query: Option<&str>) -> Extraction {
-        let page = Page::from_html(html, query);
-        self.extract_page(&page)
+        match Page::try_from_html(html, query, &self.cfg.budget) {
+            Ok((page, diags)) => {
+                let mut ex = self.extract_page(&page);
+                ex.diagnostics.splice(0..0, diags);
+                ex
+            }
+            Err(e) => Extraction::degraded(&e),
+        }
+    }
+
+    /// Strict single-page extraction: a resource-budget trip during
+    /// ingestion (parse or render) is a typed [`ExtractError`] instead of
+    /// a degraded result. In-extraction degradations (record-count caps,
+    /// deadline expiry while applying wrappers) still surface as
+    /// `diagnostics` on the `Ok` value.
+    pub fn try_extract(&self, html: &str) -> Result<Extraction, ExtractError> {
+        self.try_extract_with_query(html, None)
+    }
+
+    /// [`try_extract`](SectionWrapperSet::try_extract) with the page's
+    /// query known.
+    pub fn try_extract_with_query(
+        &self,
+        html: &str,
+        query: Option<&str>,
+    ) -> Result<Extraction, ExtractError> {
+        let page = Page::try_from_html_strict(html, query, &self.cfg.budget)?;
+        Ok(self.extract_page(&page))
     }
 
     /// Extraction over an already-rendered page.
@@ -396,12 +479,22 @@ impl SectionWrapperSet {
 
     /// [`extract_page`] with a shared distance memo (see [`DistanceCache`]).
     pub fn extract_page_cached(&self, page: &Page, cache: &DistanceCache) -> Extraction {
+        let clock = StageClock::new(self.cfg.budget.stage_deadline_ms);
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
         let mut seen_nodes: Vec<NodeId> = Vec::new();
         let mut found: Vec<(SchemaId, SectionInst)> = Vec::new();
 
+        // Deadline checks between schema applications: on expiry, stop
+        // proposing candidates and extract from what was found so far —
+        // a partial result with a diagnostic, never an abort.
+        let mut expired = false;
         for (i, w) in self.wrappers.iter().enumerate() {
             if self.absorbed.contains(&i) {
                 continue;
+            }
+            if clock.expired() {
+                expired = true;
+                break;
             }
             if let Some((node, sec)) = apply_wrapper(page, &self.cfg, w, &seen_nodes) {
                 seen_nodes.push(node);
@@ -410,10 +503,24 @@ impl SectionWrapperSet {
         }
         let mut feats = crate::features::Features::with_cache(page, &self.cfg, cache);
         for (k, fam) in self.families.iter().enumerate() {
+            if expired || clock.expired() {
+                expired = true;
+                break;
+            }
             for (node, sec) in apply_family_with(&mut feats, fam, &seen_nodes) {
                 seen_nodes.push(node);
                 found.push((SchemaId::Family(k), sec));
             }
+        }
+        if expired {
+            diagnostics.push(Diagnostic::new(
+                Stage::Extract,
+                format!(
+                    "stage deadline expired while applying wrappers; \
+                     extracted from {} candidate sections found so far",
+                    found.len()
+                ),
+            ));
         }
 
         // Maximum-weight non-overlapping selection, weight = record count
@@ -474,7 +581,27 @@ impl SectionWrapperSet {
             })
             .collect();
         sections.sort_by_key(|s| s.start);
-        Extraction { sections }
+        // Record-count budget: cap each section's reported records,
+        // noting what was dropped.
+        let cap = self.cfg.budget.max_records_per_section;
+        for sec in &mut sections {
+            if sec.records.len() > cap {
+                let dropped = sec.records.len() - cap;
+                sec.records.truncate(cap);
+                diagnostics.push(Diagnostic::new(
+                    Stage::Extract,
+                    format!(
+                        "section at lines {}..{} truncated to {cap} records \
+                         ({dropped} dropped by budget)",
+                        sec.start, sec.end
+                    ),
+                ));
+            }
+        }
+        Extraction {
+            sections,
+            diagnostics,
+        }
     }
 
     /// Batch extraction: parse and extract every `(html, query)` input,
@@ -487,14 +614,24 @@ impl SectionWrapperSet {
     }
 
     /// [`extract_batch`] against a caller-owned [`DistanceCache`].
+    ///
+    /// Graceful per page: a budget trip on one input degrades that
+    /// page's [`Extraction`] (empty or partial, with diagnostics) and
+    /// never aborts the rest of the batch.
     pub fn extract_batch_cached(
         &self,
         inputs: &[(&str, Option<&str>)],
         cache: &DistanceCache,
     ) -> Vec<Extraction> {
         crate::par::par_map(inputs, self.cfg.effective_threads(), |_, (html, q)| {
-            let page = Page::from_html(html, *q);
-            self.extract_page_cached(&page, cache)
+            match Page::try_from_html(html, *q, &self.cfg.budget) {
+                Ok((page, diags)) => {
+                    let mut ex = self.extract_page_cached(&page, cache);
+                    ex.diagnostics.splice(0..0, diags);
+                    ex
+                }
+                Err(e) => Extraction::degraded(&e),
+            }
         })
     }
 }

@@ -92,11 +92,11 @@ pub(crate) fn refine_with(
             let mut clipped: Vec<SectionInst> = Vec::new();
             for mut sec in aligned {
                 sec.records.retain(|r| r.start >= cursor);
-                if sec.records.is_empty() {
+                let (Some(first), Some(last)) = (sec.records.first(), sec.records.last()) else {
                     continue;
-                }
-                sec.start = sec.records.first().unwrap().start;
-                sec.end = sec.records.last().unwrap().end;
+                };
+                sec.start = first.start;
+                sec.end = last.end;
                 cursor = sec.end;
                 clipped.push(sec);
             }

@@ -18,8 +18,8 @@ impl SectionInst {
     pub fn from_records(records: Vec<Rec>) -> SectionInst {
         debug_assert!(!records.is_empty());
         SectionInst {
-            start: records.first().unwrap().start,
-            end: records.last().unwrap().end,
+            start: records.first().map_or(0, |r| r.start),
+            end: records.last().map_or(0, |r| r.end),
             records,
             lbm: None,
             rbm: None,

@@ -147,8 +147,9 @@ pub fn build_wrapper(
         return None;
     }
     insts = keep.iter().map(|&i| insts[i]).collect();
-    let containers: Vec<mse_dom::NodeId> = keep.iter().map(|&i| containers[i].unwrap()).collect();
-    let paths: Vec<CompactTagPath> = keep.iter().map(|&i| paths[i].clone().unwrap()).collect();
+    // `keep` selects exactly the indices where both are Some.
+    let containers: Vec<mse_dom::NodeId> = keep.iter().filter_map(|&i| containers[i]).collect();
+    let paths: Vec<CompactTagPath> = keep.iter().filter_map(|&i| paths[i].clone()).collect();
     let pref = MergedTagPath::merge(&paths)?;
 
     // seps: start chains of the container children that open each record,
@@ -308,10 +309,9 @@ pub fn partition_by_seps(page: &Page, container: NodeId, seps: &[String]) -> Vec
     for k in kids {
         let chain = start_chain(dom, k);
         let is_sep = seps.contains(&chain);
-        if is_sep || groups.is_empty() {
-            groups.push(vec![k]);
-        } else {
-            groups.last_mut().unwrap().push(k);
+        match groups.last_mut() {
+            Some(g) if !is_sep => g.push(k),
+            _ => groups.push(vec![k]),
         }
     }
     // Map node groups to line ranges.
@@ -392,11 +392,10 @@ pub fn apply_wrapper(
                 break;
             }
         }
-        if records.is_empty() {
+        let (Some(first), Some(last)) = (records.first(), records.last()) else {
             continue;
-        }
-        let start = records.first().unwrap().start;
-        let end = records.last().unwrap().end;
+        };
+        let (start, end) = (first.start, last.end);
         // Marker agreement score.
         let lbm_ok = marker_matches(page, start.checked_sub(1), &w.lbms);
         let rbm_ok = marker_matches(page, (end < page.n_lines()).then_some(end), &w.rbms);

@@ -21,9 +21,13 @@ pub fn decode_entities(input: &str) -> String {
             }
         }
         // Push the (possibly multi-byte) char starting at i.
-        let ch = input[i..].chars().next().unwrap();
-        out.push(ch);
-        i += ch.len_utf8();
+        match input[i..].chars().next() {
+            Some(ch) => {
+                out.push(ch);
+                i += ch.len_utf8();
+            }
+            None => break,
+        }
     }
     out
 }
@@ -32,17 +36,46 @@ pub fn decode_entities(input: &str) -> String {
 /// Returns the decoded text and the number of bytes consumed.
 fn decode_one(s: &str) -> Option<(String, usize)> {
     debug_assert!(s.starts_with('&'));
-    let semi = s[..s.len().min(12)].find(';')?;
-    let body = &s[1..semi];
-    if let Some(num) = body.strip_prefix('#') {
-        let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
-            u32::from_str_radix(hex, 16).ok()?
-        } else {
-            num.parse::<u32>().ok()?
+    let bytes = s.as_bytes();
+    if bytes.get(1) == Some(&b'#') {
+        // Numeric references may carry arbitrarily many digits (hostile
+        // pages exploit this), so scan the digit run directly instead of
+        // using the fixed named-entity lookahead window. Digit runs are
+        // disjoint across references, keeping the whole pass linear.
+        let (digits_start, is_hex) = match bytes.get(2) {
+            Some(b'x') | Some(b'X') => (3, true),
+            _ => (2, false),
         };
-        let ch = char::from_u32(code)?;
-        return Some((ch.to_string(), semi + 1));
+        let mut j = digits_start;
+        while j < bytes.len()
+            && (if is_hex {
+                bytes[j].is_ascii_hexdigit()
+            } else {
+                bytes[j].is_ascii_digit()
+            })
+        {
+            j += 1;
+        }
+        if j == digits_start || bytes.get(j) != Some(&b';') {
+            return None;
+        }
+        let code = if is_hex {
+            u32::from_str_radix(&s[digits_start..j], 16).ok()
+        } else {
+            s[digits_start..j].parse::<u32>().ok()
+        };
+        // A syntactically valid numeric reference always decodes: values
+        // past U+10FFFF (including u32 overflow) and surrogates map to
+        // U+FFFD per HTML5, never to a panic or an invalid scalar.
+        let ch = code.and_then(char::from_u32).unwrap_or('\u{FFFD}');
+        return Some((ch.to_string(), j + 1));
     }
+    // Byte-level scan for the ';' within the lookahead window: slicing the
+    // &str at a fixed byte offset would panic when a multi-byte character
+    // straddles the window boundary (e.g. "&абвгде;").
+    let semi = s.bytes().take(12).position(|b| b == b';')?;
+    // '&' and ';' are ASCII, so both slice bounds are char boundaries.
+    let body = &s[1..semi];
     let text = match body {
         "amp" => "&",
         "lt" => "<",
@@ -146,9 +179,34 @@ mod tests {
     }
 
     #[test]
-    fn invalid_numeric_left_verbatim() {
+    fn malformed_numeric_left_verbatim() {
         assert_eq!(decode_entities("&#xZZ;"), "&#xZZ;");
-        assert_eq!(decode_entities("&#1114112;"), "&#1114112;"); // > char::MAX
+        assert_eq!(decode_entities("&#;"), "&#;");
+        assert_eq!(decode_entities("&#x;"), "&#x;");
+    }
+
+    #[test]
+    fn out_of_range_numeric_becomes_replacement_char() {
+        // Above U+10FFFF, surrogates, and u32-overflowing references all
+        // decode to U+FFFD (HTML5 behavior) instead of staying verbatim or
+        // producing an invalid char.
+        assert_eq!(decode_entities("&#x110000;"), "\u{FFFD}");
+        assert_eq!(decode_entities("&#1114112;"), "\u{FFFD}");
+        assert_eq!(decode_entities("&#xD800;"), "\u{FFFD}");
+        assert_eq!(decode_entities("&#xDFFF;"), "\u{FFFD}");
+        assert_eq!(decode_entities("&#999999999;"), "\u{FFFD}");
+        // References longer than the named-entity lookahead window still
+        // decode (digit runs are scanned directly).
+        assert_eq!(decode_entities("&#999999999999999999999;"), "\u{FFFD}");
+        assert_eq!(decode_entities("&#xFFFFFFFFFFFFFFFFFFFF;"), "\u{FFFD}");
+    }
+
+    #[test]
+    fn multibyte_entity_body_no_panic() {
+        // Regression: a multi-byte char straddling the 12-byte lookahead
+        // window used to panic on a non-char-boundary slice.
+        assert_eq!(decode_entities("&абвгде;"), "&абвгде;");
+        assert_eq!(decode_entities("&ééééé;x"), "&ééééé;x");
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Typed parse errors and resource limits.
+//!
+//! Result pages are arbitrary third-party HTML (paper §3 step 1), so the
+//! parser must treat hostile input — megabyte single lines, 100k-deep
+//! nesting, truncated markup — as the normal case. [`ParseLimits`] bounds
+//! what a parse may consume; violations surface as [`DomError`] values
+//! instead of panics or unbounded allocation.
+
+use std::fmt;
+
+/// Resource limits for one parse.
+///
+/// Depth is *clamped*, not an error: elements opened beyond
+/// [`ParseLimits::max_depth`] still enter the DOM but cannot open further
+/// nesting (their children attach at the cap), mirroring how browsers flatten
+/// pathological nesting. This keeps every downstream tree traversal bounded.
+/// Byte and node budgets are hard errors — half a DOM has no useful tag
+/// paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum accepted input length in bytes.
+    pub max_input_bytes: usize,
+    /// Maximum number of arena nodes the parse may allocate.
+    pub max_nodes: usize,
+    /// Maximum open-element-stack depth; deeper elements are flattened.
+    pub max_depth: usize,
+}
+
+/// Depth cap applied by the plain [`parse`](crate::parse) entry point.
+/// Chosen above any real page (browsers cap around 512) but small enough
+/// that recursive consumers of the tree never approach stack exhaustion.
+pub const DEFAULT_MAX_DEPTH: usize = 256;
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_input_bytes: 64 << 20,
+            max_nodes: 4_000_000,
+            max_depth: DEFAULT_MAX_DEPTH,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// Limits that never reject input: depth is still clamped (the one
+    /// bound that protects the *consumers* of the tree), bytes and nodes
+    /// are unbounded. This is what [`parse`](crate::parse) uses.
+    pub fn unbounded() -> ParseLimits {
+        ParseLimits {
+            max_input_bytes: usize::MAX,
+            max_nodes: usize::MAX,
+            max_depth: DEFAULT_MAX_DEPTH,
+        }
+    }
+}
+
+/// A parse rejected by its [`ParseLimits`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DomError {
+    /// The input exceeds `max_input_bytes`.
+    InputTooLarge { len: usize, max: usize },
+    /// The document needs more than `max_nodes` arena nodes.
+    TooManyNodes { max: usize },
+}
+
+impl fmt::Display for DomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomError::InputTooLarge { len, max } => {
+                write!(f, "input is {len} bytes, limit is {max}")
+            }
+            DomError::TooManyNodes { max } => {
+                write!(f, "document exceeds the {max}-node budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DomError {}

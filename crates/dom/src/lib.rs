@@ -17,6 +17,12 @@
 //! * preorder traversal utilities that enumerate text leaves in visual
 //!   order, the paper's one-dimensional page model.
 //!
+//! Ingestion is **panic-free by policy**: result pages are untrusted
+//! third-party HTML, so the library target forbids `unwrap`/`expect`/
+//! `panic!` (see the `cfg_attr` gate below), nesting depth is clamped at
+//! parse time, and [`parse_with_limits`] enforces byte/node budgets with
+//! typed [`DomError`]s.
+//!
 //! ```
 //! use mse_dom::{parse, NodeKind};
 //! let dom = parse("<html><body><p>Hello <b>world</b></p></body></html>");
@@ -30,15 +36,24 @@
 //! assert_eq!(texts, ["Hello ", "world"]);
 //! ```
 
+// Panic-free ingestion gate: untrusted HTML must never be able to abort
+// the process. Tests keep their unwraps (they run on trusted fixtures).
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod entity;
+pub mod error;
 pub mod node;
 pub mod parser;
 pub mod serialize;
 pub mod tagpath;
 pub mod tokenizer;
 
+pub use error::{DomError, ParseLimits, DEFAULT_MAX_DEPTH};
 pub use node::{Attr, Dom, NodeData, NodeId, NodeKind};
-pub use parser::parse;
+pub use parser::{parse, parse_with_limits};
 pub use tagpath::{
     CompactStep, CompactTagPath, Direction, MergedStep, MergedTagPath, PathNode, TagPath,
 };

@@ -7,6 +7,7 @@
 //! auto-closing of `p`/`li`/`dt`/`dd`/`tr`/`td`/`th`/`option`, void
 //! elements, and recovery from unmatched end tags.
 
+use crate::error::{DomError, ParseLimits};
 use crate::node::{Dom, NodeId, NodeKind};
 use crate::tokenizer::{tokenize, Token};
 
@@ -54,9 +55,30 @@ fn closes(incoming: &str) -> &'static [&'static str] {
 }
 
 /// Parse an HTML document into a [`Dom`].
+///
+/// Total on arbitrary input: never panics, and nesting depth is clamped at
+/// [`crate::error::DEFAULT_MAX_DEPTH`] so every downstream tree traversal
+/// is stack-safe. Byte/node budgets are only enforced by
+/// [`parse_with_limits`].
 pub fn parse(input: &str) -> Dom {
+    // Unbounded limits cannot produce a hard error; the fallback is the
+    // bare scaffolding and exists only to keep this entry point total.
+    parse_with_limits(input, &ParseLimits::unbounded())
+        .unwrap_or_else(|_| Builder::new(ParseLimits::unbounded().max_depth).finish())
+}
+
+/// [`parse`] under explicit [`ParseLimits`]: rejects oversized input and
+/// node-budget blowouts with a typed [`DomError`]; clamps nesting at
+/// `limits.max_depth` (flattening, like browsers, rather than failing).
+pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Dom, DomError> {
+    if input.len() > limits.max_input_bytes {
+        return Err(DomError::InputTooLarge {
+            len: input.len(),
+            max: limits.max_input_bytes,
+        });
+    }
     let tokens = tokenize(input);
-    let mut b = Builder::new();
+    let mut b = Builder::new(limits.max_depth);
     for tok in tokens {
         match tok {
             Token::StartTag {
@@ -69,26 +91,44 @@ pub fn parse(input: &str) -> Dom {
             Token::Comment(c) => b.comment(c),
             Token::Doctype(_) => {}
         }
+        if b.dom.len() > limits.max_nodes {
+            return Err(DomError::TooManyNodes {
+                max: limits.max_nodes,
+            });
+        }
     }
-    b.finish()
+    // `finish` materializes any implied html/head/body scaffolding, so the
+    // budget must hold on the final arena too.
+    let dom = b.finish();
+    if dom.len() > limits.max_nodes {
+        return Err(DomError::TooManyNodes {
+            max: limits.max_nodes,
+        });
+    }
+    Ok(dom)
 }
 
 struct Builder {
     dom: Dom,
     /// Open-element stack; `stack[0]` is the document root.
     stack: Vec<NodeId>,
+    /// Open-stack depth cap: elements opened at the cap are appended to the
+    /// tree but not pushed, so their children flatten onto the capped level.
+    max_depth: usize,
     html: Option<NodeId>,
     head: Option<NodeId>,
     body: Option<NodeId>,
 }
 
 impl Builder {
-    fn new() -> Self {
+    fn new(max_depth: usize) -> Self {
         let dom = Dom::new();
         let root = dom.root();
         Builder {
             dom,
             stack: vec![root],
+            // Room for root/html/body plus at least one content level.
+            max_depth: max_depth.max(4),
             html: None,
             head: None,
             body: None,
@@ -153,12 +193,16 @@ impl Builder {
     }
 
     fn insertion_parent(&mut self) -> NodeId {
-        if self.stack.len() == 1 {
-            // Nothing open below the root: ensure body and use it.
-            self.ensure_body()
-        } else {
-            *self.stack.last().unwrap()
+        // The stack is never empty (`stack[0]` is the root and `end_tag`
+        // never pops below its floor), but the invariant is enforced here
+        // by recovery rather than assumed: anything short of an open
+        // element below the root re-anchors insertion at <body>.
+        if self.stack.len() > 1 {
+            if let Some(&top) = self.stack.last() {
+                return top;
+            }
         }
+        self.ensure_body()
     }
 
     fn start_tag(&mut self, name: &str, attrs: Vec<crate::node::Attr>, self_closing: bool) {
@@ -254,7 +298,7 @@ impl Builder {
             attrs,
         });
         self.dom.append(parent, el);
-        if !is_void(name) && !self_closing {
+        if !is_void(name) && !self_closing && self.stack.len() < self.max_depth {
             self.stack.push(el);
         }
     }
@@ -266,7 +310,9 @@ impl Builder {
             attrs,
         });
         self.dom.append(parent, el);
-        self.stack.push(el);
+        if self.stack.len() < self.max_depth {
+            self.stack.push(el);
+        }
     }
 
     fn end_tag(&mut self, name: &str) {
@@ -449,6 +495,64 @@ mod tests {
         assert_eq!(dom[font].attr("color"), Some("red"));
         let b = dom.find_tag("b").unwrap();
         assert_eq!(dom.text_of(b), "hot");
+    }
+
+    #[test]
+    fn stray_document_end_tags_before_content() {
+        // Regression: a page starting with </html></body> must not disturb
+        // the open-element stack (it used to rely on the stack being
+        // non-empty below the floor).
+        let dom = parse("</html></body><p>x</p>");
+        assert_eq!(tags_under(&dom, body(&dom)), vec!["p"]);
+        assert_eq!(dom.text_of(body(&dom)), "x");
+        // Stray close of scaffolding amid content is equally harmless.
+        let dom = parse("<div>a</body></html><p>b</p></div>");
+        assert_eq!(dom.text_of(body(&dom)), "ab");
+    }
+
+    #[test]
+    fn nesting_depth_clamped() {
+        let depth = 100_000;
+        let mut html = String::with_capacity(depth * 5 + 16);
+        for _ in 0..depth {
+            html.push_str("<div>");
+        }
+        html.push('x');
+        let dom = parse(&html);
+        // All opened elements exist, but tree depth is capped.
+        let max_depth = dom
+            .preorder(dom.root())
+            .map(|n| dom.depth(n))
+            .max()
+            .unwrap();
+        assert!(max_depth <= crate::error::DEFAULT_MAX_DEPTH, "{max_depth}");
+        assert_eq!(dom.text_of(dom.root()), "x");
+    }
+
+    #[test]
+    fn limits_reject_oversized_input() {
+        let limits = ParseLimits {
+            max_input_bytes: 10,
+            ..ParseLimits::default()
+        };
+        assert!(matches!(
+            parse_with_limits("<p>0123456789</p>", &limits),
+            Err(DomError::InputTooLarge { len: 17, max: 10 })
+        ));
+        assert!(parse_with_limits("<p>ok</p>", &limits).is_ok());
+    }
+
+    #[test]
+    fn limits_reject_node_blowout() {
+        let limits = ParseLimits {
+            max_nodes: 50,
+            ..ParseLimits::default()
+        };
+        let html = "<p>x</p>".repeat(100);
+        assert!(matches!(
+            parse_with_limits(&html, &limits),
+            Err(DomError::TooManyNodes { max: 50 })
+        ));
     }
 
     #[test]

@@ -303,8 +303,9 @@ impl MergedTagPath {
         let steps = (0..first.len())
             .map(|i| {
                 let counts = paths.iter().map(|p| p.steps[i].s_before);
-                let min_s = counts.clone().min().unwrap();
-                let max_s = counts.max().unwrap();
+                // `paths` is non-empty (checked via `first()?` above).
+                let min_s = counts.clone().min().unwrap_or(0);
+                let max_s = counts.max().unwrap_or(0);
                 MergedStep {
                     tag: first.steps[i].tag.clone(),
                     min_s,

@@ -92,22 +92,28 @@ impl<'a> Tokenizer<'a> {
 
     /// Inside `<script>`/`<style>`: consume until `</name` (case-insensitive).
     fn consume_rawtext(&mut self, name: &str) {
-        let rest = &self.input[self.pos..];
-        let lower = rest.to_ascii_lowercase();
-        let close = format!("</{}", name);
-        match lower.find(&close) {
-            Some(off) => {
-                // Raw text content is dropped: scripts and styles are not
-                // viewable content and the MSE pipeline never needs them.
-                self.pos += off;
-                self.rawtext = None;
+        // Byte-level case-insensitive scan. Lowercasing the remaining input
+        // per raw-text element (the previous implementation) made a page of
+        // N script tags cost O(N²) — a denial-of-service vector on hostile
+        // input. Raw text content is dropped either way: scripts and styles
+        // are not viewable content and the MSE pipeline never needs them.
+        let nb = name.as_bytes();
+        let b = self.bytes;
+        let mut i = self.pos;
+        while i + 2 + nb.len() <= b.len() {
+            if b[i] == b'<'
+                && b[i + 1] == b'/'
+                && b[i + 2..i + 2 + nb.len()].eq_ignore_ascii_case(nb)
+            {
                 // The end tag itself is consumed by consume_markup next loop.
-            }
-            None => {
-                self.pos = self.bytes.len();
+                self.pos = i;
                 self.rawtext = None;
+                return;
             }
+            i += 1;
         }
+        self.pos = b.len();
+        self.rawtext = None;
     }
 
     fn consume_markup(&mut self) {

@@ -183,6 +183,7 @@ mod tests {
                         .collect(),
                 })
                 .collect(),
+            diagnostics: vec![],
         }
     }
 

@@ -51,6 +51,7 @@ fn to_ex(sections: &[Vec<Vec<String>>]) -> Extraction {
                     .collect(),
             })
             .collect(),
+        diagnostics: vec![],
     }
 }
 

@@ -1,0 +1,32 @@
+//! Typed render errors and limits.
+//!
+//! Rendering walks an untrusted page's DOM into content lines; a hostile
+//! page can try to explode the line count (one `<br>` per byte). The
+//! layout engine offers two stances: [`render_lines_capped`] truncates at
+//! the budget and reports it (graceful degradation — the pipeline turns
+//! the flag into an extraction diagnostic), while [`render_lines_strict`]
+//! rejects the page with a [`RenderError`].
+//!
+//! [`render_lines_capped`]: crate::layout::render_lines_capped
+//! [`render_lines_strict`]: crate::layout::render_lines_strict
+
+use std::fmt;
+
+/// A render rejected by its line budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RenderError {
+    /// The page produced more content lines than `max`.
+    LineBudgetExceeded { max: usize },
+}
+
+impl fmt::Display for RenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenderError::LineBudgetExceeded { max } => {
+                write!(f, "page exceeds the {max}-content-line budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}

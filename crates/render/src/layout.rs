@@ -24,12 +24,28 @@ const CANVAS_WIDTH: i32 = 760;
 /// Small inset applied inside tables (cell padding/border).
 const TABLE_INSET: i32 = 3;
 
+/// Recursion guard for the layout walk. Parsed DOMs are depth-clamped at
+/// [`mse_dom::DEFAULT_MAX_DEPTH`], so this only matters for hand-built
+/// trees; content deeper than this is skipped rather than overflowing the
+/// stack.
+const MAX_VISIT_DEPTH: usize = 1024;
+
 /// Render a parsed document into its content-line sequence.
 pub fn render_lines(dom: &Dom) -> Vec<ContentLine> {
+    render_lines_capped(dom, usize::MAX).0
+}
+
+/// [`render_lines`] under a content-line budget: layout stops once
+/// `max_lines` lines exist and the second return value reports whether
+/// anything was dropped. The produced prefix is identical to the first
+/// `max_lines` lines of the unbudgeted render.
+pub fn render_lines_capped(dom: &Dom, max_lines: usize) -> (Vec<ContentLine>, bool) {
     let mut l = Layouter {
         dom,
         lines: Vec::new(),
         cur: Current::default(),
+        max_lines,
+        truncated: false,
     };
     let body = dom.find_tag("body").unwrap_or_else(|| dom.root());
     l.visit(
@@ -40,13 +56,28 @@ pub fn render_lines(dom: &Dom) -> Vec<ContentLine> {
             in_link: false,
             in_heading: false,
         },
+        0,
     );
     l.flush();
     // Assign 1-based line numbers.
     for (i, line) in l.lines.iter_mut().enumerate() {
         line.number = i + 1;
     }
-    l.lines
+    (l.lines, l.truncated)
+}
+
+/// [`render_lines`] that rejects pages over the line budget with a typed
+/// [`crate::RenderError`] instead of truncating.
+pub fn render_lines_strict(
+    dom: &Dom,
+    max_lines: usize,
+) -> Result<Vec<ContentLine>, crate::RenderError> {
+    let (lines, truncated) = render_lines_capped(dom, max_lines);
+    if truncated {
+        Err(crate::RenderError::LineBudgetExceeded { max: max_lines })
+    } else {
+        Ok(lines)
+    }
 }
 
 #[derive(Clone)]
@@ -75,6 +106,9 @@ struct Layouter<'a> {
     dom: &'a Dom,
     lines: Vec<ContentLine>,
     cur: Current,
+    /// Line budget; flushes past it set `truncated` and drop the line.
+    max_lines: usize,
+    truncated: bool,
 }
 
 /// Block-level elements that force a line break before and after.
@@ -135,6 +169,10 @@ impl<'a> Layouter<'a> {
         if !cur.started {
             return;
         }
+        if self.lines.len() >= self.max_lines {
+            self.truncated = true;
+            return;
+        }
         let text = cur.text.trim().to_string();
         let has_text = !text.is_empty();
         let ltype = if cur.has_form {
@@ -171,6 +209,10 @@ impl<'a> Layouter<'a> {
 
     fn emit_hr(&mut self, node: NodeId, x: i32) {
         self.flush();
+        if self.lines.len() >= self.max_lines {
+            self.truncated = true;
+            return;
+        }
         self.lines.push(ContentLine {
             number: 0,
             text: String::new(),
@@ -209,19 +251,24 @@ impl<'a> Layouter<'a> {
         }
     }
 
-    fn visit(&mut self, node: NodeId, ctx: &Ctx) {
+    fn visit(&mut self, node: NodeId, ctx: &Ctx, depth: usize) {
+        // Budget short-circuit (no more lines will be kept) and recursion
+        // guard (hand-built DOMs may be deeper than the parser's clamp).
+        if self.truncated || depth > MAX_VISIT_DEPTH {
+            return;
+        }
         match &self.dom[node].kind {
             NodeKind::Text(t) => self.add_text(node, t, ctx),
             NodeKind::Comment(_) | NodeKind::Document => {
                 for c in self.dom.children(node) {
-                    self.visit(c, ctx);
+                    self.visit(c, ctx, depth + 1);
                 }
             }
-            NodeKind::Element { tag, .. } => self.visit_element(node, tag.clone(), ctx),
+            NodeKind::Element { tag, .. } => self.visit_element(node, tag.clone(), ctx, depth),
         }
     }
 
-    fn visit_element(&mut self, node: NodeId, tag: String, ctx: &Ctx) {
+    fn visit_element(&mut self, node: NodeId, tag: String, ctx: &Ctx, depth: usize) {
         let data = &self.dom[node];
         match tag.as_str() {
             "script" | "style" | "head" | "title" | "meta" | "link" | "base" => return,
@@ -302,7 +349,7 @@ impl<'a> Layouter<'a> {
                 cctx.attr = child_ctx.attr.apply_element(&self.dom[cell]);
                 self.flush();
                 for c in self.dom.children(cell).collect::<Vec<_>>() {
-                    self.visit(c, &cctx);
+                    self.visit(c, &cctx, depth + 2);
                 }
                 self.flush();
                 let w = self.dom[cell]
@@ -319,7 +366,7 @@ impl<'a> Layouter<'a> {
             self.flush();
         }
         for c in self.dom.children(node).collect::<Vec<_>>() {
-            self.visit(c, &child_ctx);
+            self.visit(c, &child_ctx, depth + 1);
         }
         if block {
             self.flush();

@@ -13,14 +13,27 @@
 //! See DESIGN.md §3 for why a simulator preserves the behaviour MSE needs:
 //! the algorithm only consumes relative visual signals (which text shares a
 //! line, left contours, type/font equality), never absolute pixels.
+//!
+//! Rendering is **panic-free by policy** (pages are untrusted input):
+//! traversal depth is guarded, and [`render_lines_capped`] /
+//! [`render_lines_strict`] bound the number of emitted lines.
+
+// Panic-free ingestion gate: untrusted HTML must never be able to abort
+// the process. Tests keep their unwraps (they run on trusted fixtures).
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod block;
+pub mod error;
 pub mod layout;
 pub mod line;
 pub mod page;
 pub mod style;
 
-pub use layout::render_lines;
+pub use error::RenderError;
+pub use layout::{render_lines, render_lines_capped, render_lines_strict};
 pub use line::{dpl, dtl, ContentLine, LineType, POSITION_K};
 pub use page::{cover_forest, render, RenderedPage};
 pub use style::{dtal, FontStyle, LineAttrs, TextAttr};

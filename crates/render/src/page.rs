@@ -65,34 +65,46 @@ pub fn cover_forest(dom: &Dom, leaves: &[NodeId]) -> Vec<NodeId> {
         return vec![];
     }
     let mut out = Vec::new();
-    collect_cover(dom, dom.root(), &set, &mut out);
+    collect_cover(dom, dom.root(), &set, &mut out, 0);
     out
 }
+
+/// Recursion guard matching [`crate::layout`]'s: parsed DOMs are
+/// depth-clamped, so this only protects against hand-built deep trees.
+const MAX_COVER_DEPTH: usize = 1024;
 
 /// Returns (covered, has_leaf): `covered` = every viewable leaf in this
 /// subtree is in the set; `has_leaf` = the subtree has at least one
 /// viewable leaf. Appends maximal covered nodes to `out` in document order.
-fn cover_info(dom: &Dom, n: NodeId, set: &HashSet<NodeId>) -> (bool, bool) {
+fn cover_info(dom: &Dom, n: NodeId, set: &HashSet<NodeId>, depth: usize) -> (bool, bool) {
     if is_viewable_leaf(dom, n) {
         return (set.contains(&n), true);
+    }
+    if depth > MAX_COVER_DEPTH {
+        // Content below the guard is invisible to layout too; treat it as
+        // leafless rather than overflowing the stack.
+        return (true, false);
     }
     let mut covered = true;
     let mut has_leaf = false;
     for c in dom.children(n) {
-        let (cc, cl) = cover_info(dom, c, set);
+        let (cc, cl) = cover_info(dom, c, set, depth + 1);
         covered &= cc || !cl;
         has_leaf |= cl;
     }
     (covered, has_leaf)
 }
 
-fn collect_cover(dom: &Dom, n: NodeId, set: &HashSet<NodeId>, out: &mut Vec<NodeId>) {
+fn collect_cover(dom: &Dom, n: NodeId, set: &HashSet<NodeId>, out: &mut Vec<NodeId>, depth: usize) {
+    if depth > MAX_COVER_DEPTH {
+        return;
+    }
     // The document scaffolding can never be a forest member — a record is
     // always strictly inside <body>.
     let scaffolding = matches!(&dom[n].kind, NodeKind::Document)
         || matches!(dom[n].tag(), Some("html") | Some("head") | Some("body"));
     if !scaffolding {
-        let (covered, has_leaf) = cover_info(dom, n, set);
+        let (covered, has_leaf) = cover_info(dom, n, set, depth);
         if covered && has_leaf {
             out.push(n);
             return;
@@ -102,7 +114,7 @@ fn collect_cover(dom: &Dom, n: NodeId, set: &HashSet<NodeId>, out: &mut Vec<Node
         }
     }
     for c in dom.children(n).collect::<Vec<_>>() {
-        collect_cover(dom, c, set, out);
+        collect_cover(dom, c, set, out, depth + 1);
     }
 }
 

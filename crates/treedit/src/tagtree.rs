@@ -38,6 +38,10 @@ impl TagTree {
     }
 
     fn build(&mut self, dom: &Dom, node: NodeId) -> usize {
+        self.build_capped(dom, node, 0)
+    }
+
+    fn build_capped(&mut self, dom: &Dom, node: NodeId, depth: usize) -> usize {
         let label = match &dom[node].kind {
             NodeKind::Element { tag, .. } => tag.clone(),
             NodeKind::Text(_) => "#text".to_string(),
@@ -46,6 +50,12 @@ impl TagTree {
         let idx = self.labels.len();
         self.labels.push(label);
         self.children.push(Vec::new());
+        // Recursion guard: parsed DOMs are depth-clamped, so this only
+        // protects against hand-built deep trees. Nodes at the cap become
+        // leaves.
+        if depth >= MAX_TREE_DEPTH {
+            return idx;
+        }
         for child in dom.children(node) {
             let keep = match &dom[child].kind {
                 NodeKind::Element { .. } => true,
@@ -53,7 +63,7 @@ impl TagTree {
                 _ => false,
             };
             if keep {
-                let c = self.build(dom, child);
+                let c = self.build_capped(dom, child, depth + 1);
                 self.children[idx].push(c);
             }
         }
@@ -71,21 +81,34 @@ impl TagTree {
     }
 
     /// Depth-first "shape signature" — handy for hashing / grouping.
+    /// Iterative (explicit stack) so arbitrarily deep trees cannot
+    /// overflow the call stack.
     pub fn signature(&self) -> String {
+        enum Step {
+            Open(usize),
+            Close,
+        }
         let mut out = String::new();
-        self.sig_rec(0, &mut out);
+        let mut stack = vec![Step::Open(0)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Open(idx) => {
+                    out.push('(');
+                    out.push_str(&self.labels[idx]);
+                    stack.push(Step::Close);
+                    for &c in self.children[idx].iter().rev() {
+                        stack.push(Step::Open(c));
+                    }
+                }
+                Step::Close => out.push(')'),
+            }
+        }
         out
     }
-
-    fn sig_rec(&self, idx: usize, out: &mut String) {
-        out.push('(');
-        out.push_str(&self.labels[idx]);
-        for &c in &self.children[idx] {
-            self.sig_rec(c, out);
-        }
-        out.push(')');
-    }
 }
+
+/// Depth cap for [`TagTree::from_dom`]; nodes at the cap become leaves.
+const MAX_TREE_DEPTH: usize = 1024;
 
 /// Normalized tree edit distance `Dtt ∈ [0, 1]`: Zhang–Shasha distance with
 /// unit costs, divided by the size of the larger tree and clamped (the raw

@@ -33,9 +33,12 @@ pub use mse_treedit as treedit;
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use mse_annotate::{annotate_extraction, AnnotationModel, Role};
-    pub use mse_core::{ExtractedSection, Extraction, Mse, MseConfig, SectionWrapperSet};
-    pub use mse_dom::{parse, Dom};
+    pub use mse_core::{
+        BuildError, Diagnostic, ExtractError, ExtractedSection, Extraction, Mse, MseConfig,
+        MseError, ResourceBudget, SectionWrapperSet, Stage,
+    };
+    pub use mse_dom::{parse, parse_with_limits, Dom, DomError, ParseLimits};
     pub use mse_eval::{score_engine, CorpusScore};
-    pub use mse_render::{render, RenderedPage};
+    pub use mse_render::{render, RenderError, RenderedPage};
     pub use mse_testbed::{Corpus, CorpusConfig, EngineSpec};
 }

@@ -1,0 +1,322 @@
+//! Adversarial-input harness: the entire ingestion path (parse → render →
+//! extract) must be panic-free and resource-bounded on *arbitrary* bytes,
+//! not just tag soup a search engine might plausibly emit. Hostile inputs
+//! here include truncated tags, deeply nested unbalanced markup, giant
+//! numeric character references, null bytes, and megabyte-scale single
+//! lines.
+//!
+//! The CI fuzz-smoke job reruns this suite with a raised `PROPTEST_CASES`.
+
+use mse::core::{Mse, MseConfig, ResourceBudget, SectionWrapperSet, Stage};
+use mse::dom::{parse, parse_with_limits, Dom, ParseLimits};
+use mse::render::{render_lines, render_lines_capped};
+use mse::testbed::{Corpus, CorpusConfig};
+use proptest::prelude::*;
+
+/// Per-property case count: the given base, or `PROPTEST_CASES` from the
+/// environment when that is larger (the CI fuzz-smoke job raises it).
+fn cases(base: u32) -> ProptestConfig {
+    let n = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map_or(base, |env| env.max(base));
+    ProptestConfig::with_cases(n)
+}
+
+/// Hostile HTML fragments: truncated tags, unbalanced nesting, comment and
+/// CDATA debris, out-of-range character references, null bytes, plus some
+/// benign text so documents are not pure noise.
+fn fragment() -> impl Strategy<Value = String> {
+    let lit = |s: &'static str| Just(s.to_string());
+    prop_oneof![
+        lit("<"),
+        lit(">"),
+        lit("</"),
+        lit("<di"),
+        lit("<div"),
+        lit("<div class=\"r"),
+        lit("<div><div><div>"),
+        lit("</div>"),
+        lit("</div></div></span>"),
+        lit("<a href=\"http://e.com/?q="),
+        lit("<table><tr><td>"),
+        lit("<!--"),
+        lit("-->"),
+        lit("<![CDATA["),
+        lit("<script>var x = '<div>';"),
+        lit("</script"),
+        lit("<style>p{color:red"),
+        lit("&#999999999;"),
+        lit("&#x110000;"),
+        lit("&#xD800;"),
+        lit("&#xFFFFFFFFF;"),
+        lit("&amp"),
+        lit("&;"),
+        lit("\0"),
+        lit("\0\0\0\0"),
+        lit("=\"'"),
+        "[a-z ]{0,16}",
+        "[<>&;#x0-9]{1,12}",
+    ]
+}
+
+fn hostile_html() -> impl Strategy<Value = String> {
+    proptest::collection::vec(fragment(), 0..40).prop_map(|v| v.concat())
+}
+
+/// Structural sanity of a parsed DOM: every child link points at a live
+/// node and the tree is acyclic from the root.
+fn dom_is_consistent(dom: &Dom) -> bool {
+    let n = dom.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![dom.root()];
+    while let Some(id) = stack.pop() {
+        let idx = id.index();
+        if idx >= n || seen[idx] {
+            return false;
+        }
+        seen[idx] = true;
+        for c in dom.children(id) {
+            stack.push(c);
+        }
+    }
+    true
+}
+
+fn built_wrappers() -> SectionWrapperSet {
+    let corpus = Corpus::generate(CorpusConfig::small(2006));
+    let engine = &corpus.engines[0];
+    let samples: Vec<(String, String)> = corpus
+        .sample_pages(engine)
+        .into_iter()
+        .map(|p| (p.html, p.query))
+        .collect();
+    let refs: Vec<(&str, Option<&str>)> = samples
+        .iter()
+        .map(|(h, q)| (h.as_str(), Some(q.as_str())))
+        .collect();
+    Mse::new(MseConfig::default())
+        .build_with_queries(&refs)
+        .expect("engine 0 builds")
+}
+
+proptest! {
+    #![proptest_config(cases(400))]
+
+    /// `parse` accepts any string without panicking and yields a
+    /// structurally consistent DOM; rendering it never panics either.
+    #[test]
+    fn parse_and_render_survive_hostile_html(html in hostile_html()) {
+        let dom = parse(&html);
+        prop_assert!(dom_is_consistent(&dom));
+        let lines = render_lines(&dom);
+        // Line numbers are 1-based and strictly increasing.
+        prop_assert!(lines.windows(2).all(|w| w[0].number < w[1].number));
+        prop_assert!(lines.first().is_none_or(|l| l.number >= 1));
+        let (capped, truncated) = render_lines_capped(&dom, 16);
+        prop_assert!(capped.len() <= 16);
+        prop_assert!(!truncated || lines.len() > 16);
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(300))]
+
+    /// `parse_with_limits` enforces its budgets: node and input-size caps
+    /// either reject the page with a typed error or hold the bound.
+    #[test]
+    fn parse_limits_are_enforced(html in hostile_html(), max_nodes in 1usize..64) {
+        let limits = ParseLimits {
+            max_input_bytes: 512,
+            max_nodes,
+            max_depth: 32,
+        };
+        match parse_with_limits(&html, &limits) {
+            Ok(dom) => prop_assert!(dom.len() <= max_nodes),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(300))]
+
+    /// Wrapper application on hostile pages: never a panic, and always a
+    /// well-formed (possibly empty) extraction that serializes.
+    #[test]
+    fn extraction_survives_hostile_html(html in hostile_html()) {
+        let ws = built_wrappers();
+        let ex = ws.extract(&html);
+        for sec in &ex.sections {
+            prop_assert!(sec.start <= sec.end);
+            for rec in &sec.records {
+                prop_assert!(rec.start >= sec.start && rec.end <= sec.end);
+            }
+        }
+        prop_assert!(serde_json::to_string(&ex).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(200))]
+
+    /// Unbalanced nesting at arbitrary depth (well past the parser's
+    /// clamp) parses flat rather than deep: no stack overflow downstream.
+    #[test]
+    fn deep_unbalanced_nesting_is_flattened(depth in 1usize..5000, close in any::<bool>()) {
+        let mut html = String::with_capacity(depth * 6 + 16);
+        for _ in 0..depth {
+            html.push_str("<div>");
+        }
+        html.push_str("leaf text");
+        if close {
+            for _ in 0..depth {
+                html.push_str("</div>");
+            }
+        }
+        let dom = parse(&html);
+        prop_assert!(dom_is_consistent(&dom));
+        let lines = render_lines(&dom);
+        prop_assert_eq!(lines.len(), 1, "one text line expected");
+    }
+}
+
+/// 100k-deep unbalanced nesting: the parser clamp plus the iterative /
+/// depth-capped traversals keep every downstream stage off the call-stack
+/// cliff.
+#[test]
+fn hundred_thousand_deep_nesting_no_stack_overflow() {
+    let depth = 100_000;
+    let mut html = String::with_capacity(depth * 5 + 32);
+    for _ in 0..depth {
+        html.push_str("<div>");
+    }
+    html.push_str("bottom");
+    let dom = parse(&html);
+    assert!(dom_is_consistent(&dom));
+    let lines = render_lines(&dom);
+    assert_eq!(lines.len(), 1);
+    let ws = built_wrappers();
+    let ex = ws.extract(&html);
+    assert!(serde_json::to_string(&ex).is_ok());
+}
+
+/// A megabyte-scale single line (no tags, no breaks) parses, renders to
+/// one line, and extracts without blowing memory or time.
+#[test]
+fn megabyte_single_line_is_bounded() {
+    let html = format!("<html><body><p>{}</p></body></html>", "x".repeat(2 << 20));
+    let dom = parse(&html);
+    assert!(dom_is_consistent(&dom));
+    let lines = render_lines(&dom);
+    assert_eq!(lines.len(), 1);
+    let ws = built_wrappers();
+    let ex = ws.extract(&html);
+    assert!(ex.sections.is_empty());
+}
+
+/// Giant numeric character references decode to U+FFFD instead of
+/// panicking or emitting surrogates.
+#[test]
+fn giant_char_refs_decode_to_replacement() {
+    for bad in [
+        "&#999999999999999999999;",
+        "&#x7FFFFFFFFFFF;",
+        "&#xD800;",
+        "&#x110000;",
+    ] {
+        let html = format!("<p>a{bad}b</p>");
+        let dom = parse(&html);
+        let lines = render_lines(&dom);
+        assert_eq!(lines.len(), 1, "{bad}");
+        assert!(
+            lines[0].text.contains('\u{FFFD}'),
+            "{bad}: {}",
+            lines[0].text
+        );
+    }
+}
+
+/// Budget trips during extraction degrade to a partial result with
+/// diagnostics — they never abort, and never leak into sibling pages of a
+/// batch.
+#[test]
+fn budget_trips_degrade_with_diagnostics() {
+    let corpus = Corpus::generate(CorpusConfig::small(2006));
+    let engine = &corpus.engines[0];
+    let samples: Vec<(String, String)> = corpus
+        .sample_pages(engine)
+        .into_iter()
+        .map(|p| (p.html, p.query))
+        .collect();
+    let refs: Vec<(&str, Option<&str>)> = samples
+        .iter()
+        .map(|(h, q)| (h.as_str(), Some(q.as_str())))
+        .collect();
+    let page = corpus.test_pages(engine).remove(0);
+
+    // Input-size budget: the whole page is rejected up front; extraction
+    // degrades to empty-with-diagnostic instead of panicking.
+    let mut cfg = MseConfig::default();
+    cfg.budget.max_input_bytes = 64;
+    let ws = Mse::new(MseConfig::default())
+        .build_with_queries(&refs)
+        .expect("build");
+    let mut ws_small = ws.clone();
+    ws_small.cfg = cfg;
+    let ex = ws_small.extract_with_query(&page.html, Some(&page.query));
+    assert!(ex.sections.is_empty());
+    assert!(
+        ex.diagnostics.iter().any(|d| d.stage == Stage::Parse),
+        "expected a parse-stage diagnostic: {:?}",
+        ex.diagnostics
+    );
+    // Strict variant surfaces the same condition as a typed error.
+    assert!(ws_small
+        .try_extract_with_query(&page.html, Some(&page.query))
+        .is_err());
+
+    // Content-line budget: the page is truncated, extraction continues on
+    // the prefix and says so.
+    let mut ws_lines = ws.clone();
+    ws_lines.cfg.budget.max_content_lines = 5;
+    let ex = ws_lines.extract_with_query(&page.html, Some(&page.query));
+    assert!(
+        ex.diagnostics.iter().any(|d| d.stage == Stage::Render),
+        "expected a render-stage diagnostic: {:?}",
+        ex.diagnostics
+    );
+
+    // Record cap: sections are truncated, not dropped.
+    let mut ws_cap = ws.clone();
+    ws_cap.cfg.budget.max_records_per_section = 1;
+    let ex = ws_cap.extract_with_query(&page.html, Some(&page.query));
+    assert!(ex.sections.iter().all(|s| s.records.len() <= 1));
+    if !ex.sections.is_empty() {
+        assert!(
+            ex.diagnostics.iter().any(|d| d.stage == Stage::Extract),
+            "expected an extract-stage diagnostic: {:?}",
+            ex.diagnostics
+        );
+    }
+
+    // Batch: one hostile page degrades alone; its siblings extract as if
+    // it were not there.
+    let giant = "x".repeat(1 << 20);
+    let mut ws_batch = ws.clone();
+    ws_batch.cfg.budget.max_input_bytes = 1 << 16;
+    let inputs: Vec<(&str, Option<&str>)> = vec![
+        (page.html.as_str(), Some(page.query.as_str())),
+        (giant.as_str(), None),
+        (page.html.as_str(), Some(page.query.as_str())),
+    ];
+    let batch = ws_batch.extract_batch(&inputs);
+    assert_eq!(batch.len(), 3);
+    assert!(batch[1].sections.is_empty());
+    assert!(!batch[1].diagnostics.is_empty());
+    assert_eq!(batch[0], batch[2]);
+    assert!(!batch[0].sections.is_empty(), "sibling pages unaffected");
+
+    // An unbounded budget still validates.
+    assert!(ResourceBudget::unbounded().validate().is_ok());
+}

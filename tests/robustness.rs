@@ -3,7 +3,7 @@
 //! debris. 2006-era result pages were rarely valid HTML, and the paper's
 //! pipeline (like any browser-based one) has to shrug this off.
 
-use mse::core::{Mse, MseConfig};
+use mse::core::{BuildError, Extraction, Mse, MseConfig, ResourceBudget, SectionWrapperSet};
 use mse::testbed::{Corpus, CorpusConfig};
 
 /// Deterministically rough up a page: drop some closing tags that the
@@ -90,6 +90,122 @@ fn wrappers_survive_tag_soup_test_pages() {
         soup_total * 10 >= clean_total * 9,
         "tag soup broke extraction: {soup_total} vs {clean_total} records"
     );
+}
+
+/// Learn wrappers from one engine's clean sample pages.
+fn built_wrappers() -> SectionWrapperSet {
+    let corpus = Corpus::generate(CorpusConfig::small(2006));
+    let engine = &corpus.engines[0];
+    let samples: Vec<(String, String)> = corpus
+        .sample_pages(engine)
+        .into_iter()
+        .map(|p| (p.html, p.query))
+        .collect();
+    let refs: Vec<(&str, Option<&str>)> = samples
+        .iter()
+        .map(|(h, q)| (h.as_str(), Some(q.as_str())))
+        .collect();
+    Mse::new(MseConfig::default())
+        .build_with_queries(&refs)
+        .expect("engine 0 builds")
+}
+
+/// Empty, whitespace-only, and zero-dynamic-section pages must extract to
+/// an empty-but-valid `Extraction` — no panic, no phantom sections, and
+/// JSON output that round-trips.
+#[test]
+fn degenerate_pages_extract_to_empty_but_valid() {
+    let ws = built_wrappers();
+    let cases: [(&str, &str); 3] = [
+        ("empty page", ""),
+        ("whitespace-only page", "  \n\t \r\n   \n"),
+        (
+            "zero-dynamic-sections page",
+            "<html><head><title>About</title></head><body>\
+             <h1>About us</h1><p>We are a small company.</p>\
+             <p>Contact: mail@example.com</p></body></html>",
+        ),
+    ];
+    for (name, html) in cases {
+        let ex = ws.extract(html);
+        assert!(ex.sections.is_empty(), "{name}: expected no sections");
+        assert_eq!(ex.total_records(), 0, "{name}");
+        let json = serde_json::to_string(&ex).expect("serializes");
+        let back: Extraction = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(ex, back, "{name}");
+    }
+}
+
+/// A page whose only section holds a single record: extraction must not
+/// panic and every reported section must be internally consistent.
+#[test]
+fn single_record_section_is_handled() {
+    let ws = built_wrappers();
+    let corpus = Corpus::generate(CorpusConfig::small(2006));
+    let page = corpus.engines[0].page(0);
+    // Keep the page skeleton but leave a single record-sized blob of
+    // repeated content: truncate after the first ~third of the body.
+    let cut = page.html.len() / 3;
+    let mut boundary = cut;
+    while !page.html.is_char_boundary(boundary) {
+        boundary += 1;
+    }
+    let truncated = &page.html[..boundary];
+    let ex = ws.extract_with_query(truncated, Some(&page.query));
+    for sec in &ex.sections {
+        assert!(sec.start <= sec.end, "section bounds inverted");
+        assert!(!sec.records.is_empty(), "section with zero records");
+        for rec in &sec.records {
+            assert!(rec.start >= sec.start && rec.end <= sec.end);
+        }
+    }
+}
+
+/// Wrapper construction on degenerate corpora fails with *typed* errors,
+/// never a panic.
+#[test]
+fn build_on_degenerate_corpora_returns_typed_errors() {
+    let mse = Mse::new(MseConfig::default());
+    assert!(matches!(mse.build(&[]), Err(BuildError::TooFewPages(0))));
+    assert!(matches!(
+        mse.build(&["<html></html>"]),
+        Err(BuildError::TooFewPages(1))
+    ));
+    assert!(matches!(mse.build(&["", ""]), Err(BuildError::NoSections)));
+    let static_page = "<html><body><h1>About</h1><p>hello there</p></body></html>";
+    assert!(matches!(
+        mse.build(&[static_page, static_page]),
+        Err(BuildError::NoSections)
+    ));
+
+    // A sample page that blows the input-size budget is a strict,
+    // per-page failure.
+    let mut cfg = MseConfig::default();
+    cfg.budget.max_input_bytes = 64;
+    let corpus = Corpus::generate(CorpusConfig::small(2006));
+    let samples: Vec<String> = corpus
+        .sample_pages(&corpus.engines[0])
+        .into_iter()
+        .map(|p| p.html)
+        .collect();
+    let refs: Vec<&str> = samples.iter().map(String::as_str).collect();
+    match Mse::new(cfg).build(&refs) {
+        Err(BuildError::Page { index, .. }) => assert_eq!(index, 0),
+        other => panic!("expected BuildError::Page, got {other:?}"),
+    }
+
+    // An invalid budget is rejected before any page is touched.
+    let cfg = MseConfig {
+        budget: ResourceBudget {
+            max_depth: 0,
+            ..ResourceBudget::default()
+        },
+        ..MseConfig::default()
+    };
+    assert!(matches!(
+        Mse::new(cfg).build(&refs),
+        Err(BuildError::InvalidConfig(_))
+    ));
 }
 
 #[test]

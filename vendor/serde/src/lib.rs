@@ -120,6 +120,12 @@ pub mod de {
             .ok_or_else(|| Error::msg(format!("missing field `{name}` in {what}")))
     }
 
+    /// Like [`field`], but absence is not an error — used by derive code
+    /// for `#[serde(default)]` fields.
+    pub fn field_opt<'a>(m: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+        m.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
     pub fn unknown_variant(variant: &str, what: &str) -> Error {
         Error::msg(format!("unknown variant `{variant}` for {what}"))
     }

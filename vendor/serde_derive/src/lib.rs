@@ -9,18 +9,38 @@
 //! - tuple structs (newtype and n-ary)
 //! - unit structs
 //! - enums whose variants are unit, tuple, or named-field
+//! - the `#[serde(...)]` attributes `default` (container- or field-level,
+//!   Deserialize side) and `skip_serializing_if = "path"` (field-level,
+//!   Serialize side)
 //!
-//! Generics, `#[serde(...)]` attributes and non-`String` map keys are not
-//! supported and fail loudly at expansion time.
+//! Generics, other `#[serde(...)]` attributes and non-`String` map keys
+//! are not supported and fail loudly at expansion time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
 
+/// The subset of `#[serde(...)]` attributes the stub honors.
+#[derive(Default)]
+struct SerdeAttrs {
+    /// `#[serde(default)]`: on a field, a missing map entry becomes the
+    /// field type's `Default::default()`; on a struct, missing entries
+    /// come from the *struct's* `Default` value (real serde semantics).
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: the field is omitted
+    /// from the serialized map when `path(&self.field)` is true.
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
 enum Fields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Variant {
@@ -31,6 +51,7 @@ struct Variant {
 enum Item {
     Struct {
         name: String,
+        attrs: SerdeAttrs,
         fields: Fields,
     },
     Enum {
@@ -39,7 +60,7 @@ enum Item {
     },
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -47,7 +68,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive: generated Serialize impl must parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -59,7 +80,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 // Parsing
 // ---------------------------------------------------------------------------
 
-fn skip_attrs(toks: &mut Toks) {
+/// Consume leading outer attributes, folding any `#[serde(...)]` contents
+/// into a [`SerdeAttrs`]. Non-serde attributes (doc comments, derives,
+/// lints) are skipped.
+fn take_attrs(toks: &mut Toks) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
     while let Some(TokenTree::Punct(p)) = toks.peek() {
         if p.as_char() != '#' {
             break;
@@ -67,8 +92,53 @@ fn skip_attrs(toks: &mut Toks) {
         toks.next();
         // `#` is followed by a bracketed group (outer attribute).
         match toks.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                parse_serde_attr(g.stream(), &mut attrs);
+            }
             other => panic!("serde_derive: malformed attribute near {other:?}"),
+        }
+    }
+    attrs
+}
+
+/// If `stream` is the inside of a `#[serde(...)]` attribute, record the
+/// supported items; unsupported serde items fail loudly (silently
+/// dropping them would change wire formats).
+fn parse_serde_attr(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut toks: Toks = stream.into_iter().peekable();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // some other attribute — ignore
+    }
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde_derive: expected `(...)` after `serde`, found {other:?}"),
+    };
+    let mut items: Toks = body.into_iter().peekable();
+    while let Some(tok) = items.next() {
+        let key = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("serde_derive: unexpected token in serde attribute: {other:?}"),
+        };
+        match key.as_str() {
+            "default" => attrs.default = true,
+            "skip_serializing_if" => {
+                match items.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+                    other => panic!(
+                        "serde_derive: expected `=` after skip_serializing_if, found {other:?}"
+                    ),
+                }
+                let lit = match items.next() {
+                    Some(TokenTree::Literal(l)) => l.to_string(),
+                    other => panic!(
+                        "serde_derive: expected string after skip_serializing_if, found {other:?}"
+                    ),
+                };
+                attrs.skip_serializing_if = Some(lit.trim_matches('"').to_string());
+            }
+            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
         }
     }
 }
@@ -105,7 +175,7 @@ fn reject_generics(toks: &mut Toks, name: &str) {
 fn parse_item(input: TokenStream) -> Item {
     let mut toks: Toks = input.into_iter().peekable();
     loop {
-        skip_attrs(&mut toks);
+        let attrs = take_attrs(&mut toks);
         skip_vis(&mut toks);
         match toks.next() {
             Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
@@ -120,7 +190,11 @@ fn parse_item(input: TokenStream) -> Item {
                     }
                     _ => Fields::Unit,
                 };
-                return Item::Struct { name, fields };
+                return Item::Struct {
+                    name,
+                    attrs,
+                    fields,
+                };
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
                 let name = expect_ident(&mut toks);
@@ -144,11 +218,11 @@ fn parse_item(input: TokenStream) -> Item {
 /// Field names of a `{ ... }` field list. Types are skipped with
 /// angle-bracket tracking so commas inside `Vec<(String, Role)>` or
 /// `BTreeMap<String, usize>` do not end a field early.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut toks: Toks = stream.into_iter().peekable();
     let mut names = Vec::new();
     loop {
-        skip_attrs(&mut toks);
+        let attrs = take_attrs(&mut toks);
         if toks.peek().is_none() {
             break;
         }
@@ -158,7 +232,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
         }
-        names.push(name);
+        names.push(Field { name, attrs });
         // Skip the type until a comma at angle depth 0 (or end of list).
         let mut angle: i32 = 0;
         for tok in toks.by_ref() {
@@ -207,7 +281,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     let mut toks: Toks = stream.into_iter().peekable();
     let mut variants = Vec::new();
     loop {
-        skip_attrs(&mut toks);
+        let _ = take_attrs(&mut toks);
         if toks.peek().is_none() {
             break;
         }
@@ -243,21 +317,46 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 // Codegen
 // ---------------------------------------------------------------------------
 
-fn ser_named_body(fields: &[String], accessor: &dyn Fn(&str) -> String) -> String {
-    let mut s = String::from("::serde::Value::Map(::std::vec![");
-    for f in fields {
-        s.push_str(&format!(
-            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
-            accessor(f)
-        ));
+fn ser_named_body(fields: &[Field], accessor: &dyn Fn(&str) -> String) -> String {
+    // Fields with `skip_serializing_if` need a conditional push, so the
+    // map is built imperatively when any is present.
+    if fields.iter().all(|f| f.attrs.skip_serializing_if.is_none()) {
+        let mut s = String::from("::serde::Value::Map(::std::vec![");
+        for f in fields {
+            s.push_str(&format!(
+                "(::std::string::String::from(\"{}\"), ::serde::Serialize::to_value({})),",
+                f.name,
+                accessor(&f.name)
+            ));
+        }
+        s.push_str("])");
+        return s;
     }
-    s.push_str("])");
+    let mut s = String::from(
+        "{ let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+           ::std::vec::Vec::new();",
+    );
+    for f in fields {
+        let push = format!(
+            "__m.push((::std::string::String::from(\"{}\"), ::serde::Serialize::to_value({})));",
+            f.name,
+            accessor(&f.name)
+        );
+        match &f.attrs.skip_serializing_if {
+            Some(pred) => s.push_str(&format!(
+                "if !(({pred})({})) {{ {push} }}",
+                accessor(&f.name)
+            )),
+            None => s.push_str(&push),
+        }
+    }
+    s.push_str("::serde::Value::Map(__m) }");
     s
 }
 
 fn gen_serialize(item: &Item) -> String {
     match item {
-        Item::Struct { name, fields } => {
+        Item::Struct { name, fields, .. } => {
             let body = match fields {
                 Fields::Named(fs) => ser_named_body(fs, &|f| format!("&self.{f}")),
                 Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
@@ -305,10 +404,12 @@ fn gen_serialize(item: &Item) -> String {
                     }
                     Fields::Named(fs) => {
                         let inner = ser_named_body(fs, &|f| f.to_string());
+                        let binds: Vec<&str> =
+                            fs.iter().map(|f| f.name.as_str()).collect();
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![\
                                (::std::string::String::from(\"{vn}\"), {inner})]),",
-                            fs.join(",")
+                            binds.join(",")
                         ));
                     }
                 }
@@ -322,12 +423,34 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
-fn de_named_body(type_name: &str, path: &str, fields: &[String], map_expr: &str) -> String {
+/// `container_default`: when `Some(binding)`, a missing map entry falls
+/// back to that binding's field (container-level `#[serde(default)]`).
+fn de_named_body(
+    type_name: &str,
+    path: &str,
+    fields: &[Field],
+    map_expr: &str,
+    container_default: Option<&str>,
+) -> String {
     let mut s = format!("{path} {{");
     for f in fields {
-        s.push_str(&format!(
-            "{f}: ::serde::Deserialize::from_value(::serde::de::field({map_expr}, \"{f}\", \"{type_name}\")?)?,"
-        ));
+        let name = &f.name;
+        let fallback = match (container_default, f.attrs.default) {
+            (Some(binding), _) => Some(format!("{binding}.{name}")),
+            (None, true) => Some("::std::default::Default::default()".to_string()),
+            (None, false) => None,
+        };
+        match fallback {
+            Some(fb) => s.push_str(&format!(
+                "{name}: match ::serde::de::field_opt({map_expr}, \"{name}\") {{ \
+                   ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+                   ::std::option::Option::None => {fb}, \
+                 }},"
+            )),
+            None => s.push_str(&format!(
+                "{name}: ::serde::Deserialize::from_value(::serde::de::field({map_expr}, \"{name}\", \"{type_name}\")?)?,"
+            )),
+        }
     }
     s.push('}');
     s
@@ -335,11 +458,24 @@ fn de_named_body(type_name: &str, path: &str, fields: &[String], map_expr: &str)
 
 fn gen_deserialize(item: &Item) -> String {
     let body = match item {
-        Item::Struct { name, fields } => match fields {
+        Item::Struct {
+            name,
+            attrs,
+            fields,
+        } => match fields {
             Fields::Named(fs) => {
-                let ctor = de_named_body(name, name, fs, "m");
+                let (prelude, container_default) = if attrs.default {
+                    (
+                        format!("let __default: {name} = ::std::default::Default::default();"),
+                        Some("__default"),
+                    )
+                } else {
+                    (String::new(), None)
+                };
+                let ctor = de_named_body(name, name, fs, "m", container_default);
                 format!(
                     "let m = ::serde::de::expect_map(v, \"{name}\")?; \
+                     {prelude} \
                      ::std::result::Result::Ok({ctor})"
                 )
             }
@@ -384,7 +520,7 @@ fn gen_deserialize(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(fs) => {
-                        let ctor = de_named_body(&label, &format!("{name}::{vn}"), fs, "mm");
+                        let ctor = de_named_body(&label, &format!("{name}::{vn}"), fs, "mm", None);
                         map_arms.push_str(&format!(
                             "\"{vn}\" => {{ \
                                let mm = ::serde::de::expect_map(inner, \"{label}\")?; \

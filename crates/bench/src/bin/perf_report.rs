@@ -133,7 +133,10 @@ fn run_config(
     let total_pages = engines.len() * pages_per_engine;
     RunOutcome {
         report: ConfigReport {
-            threads: cfg.threads,
+            // Resolved worker count, not the raw knob — `threads: 0` in a
+            // report would misleadingly read as "no parallelism" when it
+            // means "all cores".
+            threads: mse_core::par::effective_threads(cfg.threads),
             cache_enabled: cfg.enable_distance_cache,
             build_ms,
             extract_ms,

@@ -1,0 +1,417 @@
+//! Serving-path benchmark for the compiled-wrapper work: measures what
+//! compiling a [`SectionWrapperSet`] (interned tag-paths, render-time
+//! signatures, reusable scratch arena) buys over the legacy
+//! string-comparing path on **pre-rendered** pages — pure apply-wrapper
+//! cost, no parse/render time in the numbers.
+//!
+//! Three experiments, all on wrapper sets built once from testbed samples:
+//!
+//! 1. **Single-thread match**: legacy [`apply_wrapper`] loop vs compiled
+//!    [`match_page_scratch`] on a families-stripped set (candidate
+//!    proposal only — the hot inner path, and the steady-state
+//!    zero-allocation probe). This is the headline `match_speedup`.
+//! 2. **Single-thread extraction**: [`extract_page_legacy_cached`] vs
+//!    [`extract_page_scratch`] end to end (materialization included),
+//!    with a byte-identity check on the JSON output.
+//! 3. **Skewed parallel batch**: the page list sorted by descending cost
+//!    (heavy pages form one contiguous cluster — the worst case for
+//!    contiguous chunking) fanned out with the old fixed-chunk scheduler
+//!    vs the work-stealing scheduler + per-worker scratch.
+//!
+//! A process-wide counting allocator reports allocations per page for the
+//! match probe and both extraction paths.
+//!
+//! Exits nonzero if compiled and legacy extractions are not byte-identical
+//! (the CI bench-smoke job relies on this).
+//!
+//! Usage: `serve [--engines N] [--pages N] [--samples N] [--seed N]
+//!         [--reps N] [--threads N] [--out FILE]`
+//!
+//! [`apply_wrapper`]: mse_core::wrapper::apply_wrapper
+//! [`match_page_scratch`]: mse_core::CompiledWrapperSet::match_page_scratch
+//! [`extract_page_legacy_cached`]: mse_core::SectionWrapperSet::extract_page_legacy_cached
+//! [`extract_page_scratch`]: mse_core::CompiledWrapperSet::extract_page_scratch
+
+use mse_core::wrapper::apply_wrapper;
+use mse_core::{
+    DistanceCache, ExtractScratch, Extraction, Mse, MseConfig, Page, SectionWrapperSet,
+};
+use mse_testbed::EngineSpec;
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator with relaxed atomic counters — cheap enough to leave
+/// on for the timed passes (the compiled path barely touches it, which is
+/// the point).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation count + bytes during `f`.
+fn counting<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = BYTES.load(Ordering::Relaxed);
+    let r = f();
+    (
+        r,
+        ALLOCS.load(Ordering::Relaxed) - a0,
+        BYTES.load(Ordering::Relaxed) - b0,
+    )
+}
+
+#[derive(Serialize)]
+struct SingleThread {
+    /// Candidate proposal only (wrapper-only sets): legacy `apply_wrapper`
+    /// loop vs compiled `match_page_scratch`.
+    match_legacy_ms: f64,
+    match_compiled_ms: f64,
+    /// The tentpole target: >= 3x.
+    match_speedup: f64,
+    /// Full extraction (materialization included): legacy vs compiled.
+    extract_legacy_ms: f64,
+    extract_compiled_ms: f64,
+    extract_speedup: f64,
+    legacy_pages_per_sec: f64,
+    compiled_pages_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Allocations {
+    /// Steady-state allocations per page on the warmed match probe
+    /// (families stripped) — the "allocation-free serving path" figure.
+    match_allocs_per_page: f64,
+    match_bytes_per_page: f64,
+    /// Full compiled extraction (Extraction materialization allocates by
+    /// design — it owns its record texts).
+    extract_allocs_per_page: f64,
+    legacy_allocs_per_page: f64,
+}
+
+#[derive(Serialize)]
+struct Parallel {
+    threads: usize,
+    /// Old scheduler: contiguous fixed chunks, fresh scratch per page.
+    chunked_ms: f64,
+    /// New scheduler: atomic-counter work-stealing, per-worker scratch.
+    stealing_ms: f64,
+    stealing_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    seed: u64,
+    engines: usize,
+    pages_per_engine: usize,
+    samples_per_engine: usize,
+    total_pages: usize,
+    reps: usize,
+    available_parallelism: usize,
+    single_thread: SingleThread,
+    allocations: Allocations,
+    parallel: Parallel,
+    /// Compiled vs legacy JSON output compared byte-for-byte.
+    identical_extractions: bool,
+}
+
+fn arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One engine's serving state: the built set, a wrapper-only clone for the
+/// match probe, and its pre-rendered test pages.
+struct EngineRun {
+    ws: SectionWrapperSet,
+    /// `ws` with families stripped and absorption undone — every wrapper
+    /// applies directly, which is exactly what the legacy match loop below
+    /// does, so the two probes do identical logical work.
+    wrapper_only: SectionWrapperSet,
+    pages: Vec<Page>,
+}
+
+/// Legacy match probe: the pre-compilation candidate-proposal loop.
+fn legacy_match(run: &EngineRun, page: &Page) -> usize {
+    let mut seen: Vec<mse_dom::NodeId> = Vec::new();
+    let mut found = 0usize;
+    for w in &run.wrapper_only.wrappers {
+        if let Some((node, sec)) = apply_wrapper(page, &run.wrapper_only.cfg, w, &seen) {
+            seen.push(node);
+            found += sec.records.len();
+        }
+    }
+    found
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_engines: usize = arg(&args, "--engines", 4);
+    let pages_per_engine: usize = arg(&args, "--pages", 16);
+    let samples_per_engine: usize = arg(&args, "--samples", 8);
+    let seed: u64 = arg(&args, "--seed", 2006);
+    let reps: usize = arg(&args, "--reps", 3).max(1);
+    let threads: usize = arg(&args, "--threads", 0);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let cfg = MseConfig::default();
+    let cache = DistanceCache::disabled();
+
+    // Build each engine's wrapper set once, pre-render its test pages.
+    let mut runs: Vec<EngineRun> = Vec::new();
+    for id in 0..n_engines {
+        let engine = EngineSpec::generate(seed, id);
+        let samples: Vec<_> = (0..samples_per_engine).map(|q| engine.page(q)).collect();
+        let refs: Vec<(&str, Option<&str>)> = samples
+            .iter()
+            .map(|p| (p.html.as_str(), Some(p.query.as_str())))
+            .collect();
+        let Ok(ws) = Mse::new(cfg.clone()).build_with_queries(&refs) else {
+            eprintln!("serve: engine {id} failed to build, skipping");
+            continue;
+        };
+        let mut wrapper_only = ws.clone();
+        wrapper_only.families.clear();
+        wrapper_only.absorbed.clear();
+        let pages: Vec<Page> = (0..pages_per_engine)
+            .map(|q| {
+                let p = engine.page(q);
+                Page::from_html(&p.html, Some(&p.query))
+            })
+            .collect();
+        runs.push(EngineRun {
+            ws,
+            wrapper_only,
+            pages,
+        });
+    }
+    let total_pages: usize = runs.iter().map(|r| r.pages.len()).sum();
+    assert!(total_pages > 0, "no engine built a wrapper set");
+    eprintln!(
+        "serve: {} engines x {pages_per_engine} pages = {total_pages} pages, seed {seed}",
+        runs.len()
+    );
+
+    let compiled: Vec<_> = runs.iter().map(|r| r.ws.compile()).collect();
+    let compiled_wrapper_only: Vec<_> = runs.iter().map(|r| r.wrapper_only.compile()).collect();
+
+    // ---- 1. Single-thread match probe (apply-wrapper speedup) ----
+    let mut scratch = ExtractScratch::new();
+    // Warm-up: grow scratch + interner to steady state.
+    for (e, run) in runs.iter().enumerate() {
+        for page in &run.pages {
+            legacy_match(run, page);
+            compiled_wrapper_only[e].match_page_scratch(page, &cache, &mut scratch);
+        }
+    }
+    let mut match_legacy_ms = f64::MAX;
+    let mut match_compiled_ms = f64::MAX;
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for run in &runs {
+            for page in &run.pages {
+                sink = sink.wrapping_add(legacy_match(run, page));
+            }
+        }
+        match_legacy_ms = match_legacy_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        for (e, run) in runs.iter().enumerate() {
+            for page in &run.pages {
+                let (_, r) =
+                    compiled_wrapper_only[e].match_page_scratch(page, &cache, &mut scratch);
+                sink = sink.wrapping_add(r);
+            }
+        }
+        match_compiled_ms = match_compiled_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Steady-state allocation counts (one full corpus pass each).
+    let ((), match_allocs, match_bytes) = counting(|| {
+        for (e, run) in runs.iter().enumerate() {
+            for page in &run.pages {
+                compiled_wrapper_only[e].match_page_scratch(page, &cache, &mut scratch);
+            }
+        }
+    });
+
+    // ---- 2. Single-thread full extraction + byte-identity ----
+    let mut extract_legacy_ms = f64::MAX;
+    let mut extract_compiled_ms = f64::MAX;
+    let mut legacy_out: Vec<Extraction> = Vec::new();
+    let mut compiled_out: Vec<Extraction> = Vec::new();
+    let mut legacy_allocs = 0u64;
+    let mut extract_allocs = 0u64;
+    for rep in 0..reps {
+        legacy_out.clear();
+        let (t, a, _) = {
+            let t = Instant::now();
+            let ((), a, b) = counting(|| {
+                for run in &runs {
+                    for page in &run.pages {
+                        legacy_out.push(run.ws.extract_page_legacy_cached(page, &cache));
+                    }
+                }
+            });
+            (t.elapsed().as_secs_f64() * 1e3, a, b)
+        };
+        extract_legacy_ms = extract_legacy_ms.min(t);
+        compiled_out.clear();
+        let (t2, a2, _) = {
+            let t = Instant::now();
+            let ((), a, b) = counting(|| {
+                for (e, run) in runs.iter().enumerate() {
+                    for page in &run.pages {
+                        compiled_out.push(compiled[e].extract_page_scratch(
+                            page,
+                            &cache,
+                            &mut scratch,
+                        ));
+                    }
+                }
+            });
+            (t.elapsed().as_secs_f64() * 1e3, a, b)
+        };
+        extract_compiled_ms = extract_compiled_ms.min(t2);
+        if rep == 0 {
+            legacy_allocs = a;
+            extract_allocs = a2;
+        }
+    }
+    let identical = match (
+        serde_json::to_string(&legacy_out),
+        serde_json::to_string(&compiled_out),
+    ) {
+        (Ok(a), Ok(b)) => a == b,
+        _ => false,
+    };
+
+    // ---- 3. Skewed parallel batch: chunked vs work-stealing ----
+    // Items sorted by descending single-thread cost: the heavy pages form
+    // one contiguous cluster, so fixed chunking hands them all to the
+    // first worker while the rest idle.
+    let mut items: Vec<(usize, usize, f64)> = Vec::new();
+    for (e, run) in runs.iter().enumerate() {
+        for (p, page) in run.pages.iter().enumerate() {
+            let t = Instant::now();
+            compiled[e].extract_page_scratch(page, &cache, &mut scratch);
+            items.push((e, p, t.elapsed().as_secs_f64()));
+        }
+    }
+    items.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let items: Vec<(usize, usize)> = items.into_iter().map(|(e, p, _)| (e, p)).collect();
+    // At least two workers so the threads>1 scheduling paths are always
+    // exercised; on a single-core host the two schedulers tie (total work
+    // is the bottleneck) and the stealing win only shows on multi-core.
+    let par_threads = mse_core::par::effective_threads(threads)
+        .max(2)
+        .min(items.len());
+    let mut chunked_ms = f64::MAX;
+    let mut stealing_ms = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let a = mse_core::par::par_map_chunked(&items, par_threads, |_, &(e, p)| {
+            compiled[e].extract_page_cached(&runs[e].pages[p], &cache)
+        });
+        chunked_ms = chunked_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let b = mse_core::par::par_map_with(
+            &items,
+            par_threads,
+            ExtractScratch::new,
+            |scratch, _, &(e, p)| {
+                compiled[e].extract_page_scratch(&runs[e].pages[p], &cache, scratch)
+            },
+        );
+        stealing_ms = stealing_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(a, b, "schedulers disagree on extraction output");
+    }
+
+    let report = Report {
+        seed,
+        engines: runs.len(),
+        pages_per_engine,
+        samples_per_engine,
+        total_pages,
+        reps,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        single_thread: SingleThread {
+            match_legacy_ms,
+            match_compiled_ms,
+            match_speedup: match_legacy_ms / match_compiled_ms,
+            extract_legacy_ms,
+            extract_compiled_ms,
+            extract_speedup: extract_legacy_ms / extract_compiled_ms,
+            legacy_pages_per_sec: total_pages as f64 / (extract_legacy_ms / 1e3),
+            compiled_pages_per_sec: total_pages as f64 / (extract_compiled_ms / 1e3),
+        },
+        allocations: Allocations {
+            match_allocs_per_page: match_allocs as f64 / total_pages as f64,
+            match_bytes_per_page: match_bytes as f64 / total_pages as f64,
+            extract_allocs_per_page: extract_allocs as f64 / total_pages as f64,
+            legacy_allocs_per_page: legacy_allocs as f64 / total_pages as f64,
+        },
+        parallel: Parallel {
+            threads: par_threads,
+            chunked_ms,
+            stealing_ms,
+            stealing_speedup: chunked_ms / stealing_ms,
+        },
+        identical_extractions: identical,
+    };
+    eprintln!(
+        "match: {:.1} ms -> {:.1} ms ({:.2}x)   extract: {:.1} ms -> {:.1} ms ({:.2}x, {:.0} pages/s)   \
+         allocs/page: match {:.2}, extract {:.1} (legacy {:.1})   parallel x{}: {:.1} ms -> {:.1} ms ({:.2}x)   sink {sink}",
+        report.single_thread.match_legacy_ms,
+        report.single_thread.match_compiled_ms,
+        report.single_thread.match_speedup,
+        report.single_thread.extract_legacy_ms,
+        report.single_thread.extract_compiled_ms,
+        report.single_thread.extract_speedup,
+        report.single_thread.compiled_pages_per_sec,
+        report.allocations.match_allocs_per_page,
+        report.allocations.extract_allocs_per_page,
+        report.allocations.legacy_allocs_per_page,
+        report.parallel.threads,
+        report.parallel.chunked_ms,
+        report.parallel.stealing_ms,
+        report.parallel.stealing_speedup,
+    );
+    if !identical {
+        eprintln!("ERROR: compiled extractions differ from legacy");
+        std::process::exit(1);
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json).expect("write report");
+    eprintln!("wrote {out_path}");
+}

@@ -11,5 +11,7 @@
 //! | `--bin sbm_stats` | §2's 96.9%-SBM survey statistic |
 //! | `--bin ablation` | A1–A4 component ablations |
 //! | `--bin baseline_mdr` | B1/B2 baseline comparison |
+//! | `--bin perf_report` | `BENCH_extract.json` (distance engine + batch parallelism) |
+//! | `--bin serve` | `BENCH_serve.json` (compiled serving path vs legacy) |
 //! | `bench timing` | §6's construction/extraction timing claim |
 //! | `bench micro` | substrate micro-benchmarks |

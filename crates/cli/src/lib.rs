@@ -124,7 +124,7 @@ pub fn usage() -> String {
      USAGE:\n\
      \x20 mse gen     --seed N --engine ID [--pages N] --out DIR\n\
      \x20 mse build   --out WRAPPER.json PAGE[:QUERY]...\n\
-     \x20 mse extract --wrapper WRAPPER.json [--query Q] [--annotate] PAGE\n\
+     \x20 mse extract --wrapper WRAPPER.json [--query Q] [--annotate] [--legacy] PAGE\n\
      \x20 mse extract --wrapper WRAPPER.json [--threads N] [--json] PAGE...\n\
      \x20 mse eval    [--small] [--seed N] [--threads N]\n"
         .to_string()
@@ -142,7 +142,7 @@ fn parse_opts(args: &[String]) -> Result<ParsedArgs, CliError> {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // boolean flags
-            if matches!(name, "small" | "annotate" | "json") {
+            if matches!(name, "small" | "annotate" | "json" | "legacy") {
                 opts.push((name.to_string(), "true".to_string()));
                 i += 1;
                 continue;
@@ -274,7 +274,13 @@ fn cmd_extract(args: &[String]) -> Result<String, CliError> {
     let page_path = &pos[0];
     let html = fs::read_to_string(page_path)
         .map_err(|e| CliError::no_input(format!("cannot read {page_path}: {e}")))?;
-    let ex = ws.extract_with_query(&html, opt(&opts, "query"));
+    // --legacy runs the pre-compilation reference path (useful for
+    // differential debugging); output is byte-identical by contract.
+    let ex = if opt(&opts, "legacy").is_some() {
+        ws.extract_with_query_legacy(&html, opt(&opts, "query"))
+    } else {
+        ws.extract_with_query(&html, opt(&opts, "query"))
+    };
 
     if opt(&opts, "json").is_some() {
         return serde_json::to_string_pretty(&ex).map_err(|e| CliError::internal(e.to_string()));

@@ -56,6 +56,7 @@
 )]
 
 pub mod cache;
+pub mod compiled;
 pub mod config;
 pub mod dse;
 pub mod error;
@@ -74,6 +75,7 @@ pub mod section;
 pub mod wrapper;
 
 pub use cache::DistanceCache;
+pub use compiled::{CompiledWrapperSet, ExtractScratch};
 pub use config::{MiningMode, MseConfig, ResourceBudget};
 pub use error::{Diagnostic, ExtractError, MseError, Stage};
 pub use family::FamilyWrapper;

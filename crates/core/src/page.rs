@@ -65,7 +65,7 @@ impl Page {
                 ),
             ));
         }
-        Ok((Page::new(RenderedPage { dom, lines }, query), diags))
+        Ok((Page::new(RenderedPage::assemble(dom, lines), query), diags))
     }
 
     /// [`try_from_html`](Page::try_from_html) with render truncation
@@ -148,23 +148,12 @@ fn normalize_word(w: &str) -> String {
         .to_ascii_lowercase()
 }
 
-/// The content-line span covered by a DOM node's leaves, if any.
+/// The content-line span covered by a DOM node's leaves, if any. Answered
+/// from the render-time [`mse_render::PageSigs`] in O(1) — the span of a
+/// node is the min/max line of the viewable leaves at or below it, exactly
+/// what the old per-call page scan computed.
 pub fn node_line_span(page: &Page, node: mse_dom::NodeId) -> Option<(usize, usize)> {
-    let mut lo = None;
-    let mut hi = None;
-    for (idx, line) in page.rp.lines.iter().enumerate() {
-        if line
-            .leaves
-            .iter()
-            .any(|&leaf| node == leaf || page.rp.dom.is_ancestor(node, leaf))
-        {
-            if lo.is_none() {
-                lo = Some(idx);
-            }
-            hi = Some(idx + 1);
-        }
-    }
-    Some((lo?, hi?))
+    page.rp.sigs.span(node)
 }
 
 /// `Dinr` with the configured floor applied — the denominator-side use of

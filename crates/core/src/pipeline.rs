@@ -81,13 +81,13 @@ impl Extraction {
 /// overshoot before the trip is noticed.
 ///
 /// [`ResourceBudget::stage_deadline_ms`]: crate::config::ResourceBudget
-struct StageClock {
+pub(crate) struct StageClock {
     deadline_ms: Option<u64>,
     start: Instant,
 }
 
 impl StageClock {
-    fn new(deadline_ms: Option<u64>) -> StageClock {
+    pub(crate) fn new(deadline_ms: Option<u64>) -> StageClock {
         StageClock {
             deadline_ms,
             start: Instant::now(),
@@ -101,7 +101,7 @@ impl StageClock {
         }
     }
 
-    fn expired(&self) -> bool {
+    pub(crate) fn expired(&self) -> bool {
         match self.deadline_ms {
             Some(ms) => self.start.elapsed().as_millis() as u64 > ms,
             None => false,
@@ -478,7 +478,37 @@ impl SectionWrapperSet {
     }
 
     /// [`extract_page`] with a shared distance memo (see [`DistanceCache`]).
+    ///
+    /// Runs on the compiled serving path (see [`crate::compiled`]). For
+    /// many pages, compile once yourself and reuse the
+    /// [`CompiledWrapperSet`](crate::compiled::CompiledWrapperSet) plus an
+    /// [`ExtractScratch`](crate::compiled::ExtractScratch) — this
+    /// convenience wrapper re-compiles per call.
     pub fn extract_page_cached(&self, page: &Page, cache: &DistanceCache) -> Extraction {
+        self.compile().extract_page_cached(page, cache)
+    }
+
+    /// [`extract_with_query`](SectionWrapperSet::extract_with_query) on
+    /// the legacy (string-comparing) path — kept for differential testing
+    /// and the `serve` benchmark baseline; `mse extract --legacy` exposes
+    /// it from the CLI.
+    pub fn extract_with_query_legacy(&self, html: &str, query: Option<&str>) -> Extraction {
+        match Page::try_from_html(html, query, &self.cfg.budget) {
+            Ok((page, diags)) => {
+                let mut ex = self.extract_page_legacy_cached(&page, &DistanceCache::disabled());
+                ex.diagnostics.splice(0..0, diags);
+                ex
+            }
+            Err(e) => Extraction::degraded(&e),
+        }
+    }
+
+    /// The pre-compilation reference implementation of
+    /// [`extract_page_cached`]: string start-chains, per-candidate page
+    /// scans. The compiled path must produce byte-identical output — the
+    /// differential test and the `serve` bench's `identical_extractions`
+    /// gate both compare against this.
+    pub fn extract_page_legacy_cached(&self, page: &Page, cache: &DistanceCache) -> Extraction {
         let clock = StageClock::new(self.cfg.budget.stage_deadline_ms);
         let mut diagnostics: Vec<Diagnostic> = Vec::new();
         let mut seen_nodes: Vec<NodeId> = Vec::new();
@@ -618,21 +648,29 @@ impl SectionWrapperSet {
     /// Graceful per page: a budget trip on one input degrades that
     /// page's [`Extraction`] (empty or partial, with diagnostics) and
     /// never aborts the rest of the batch.
+    ///
+    /// Compiles the wrapper set once, then fans pages out over
+    /// work-stealing workers (see [`crate::par::par_map_with`]) with one
+    /// reused [`crate::compiled::ExtractScratch`] arena per worker.
     pub fn extract_batch_cached(
         &self,
         inputs: &[(&str, Option<&str>)],
         cache: &DistanceCache,
     ) -> Vec<Extraction> {
-        crate::par::par_map(inputs, self.cfg.effective_threads(), |_, (html, q)| {
-            match Page::try_from_html(html, *q, &self.cfg.budget) {
+        let cw = self.compile();
+        crate::par::par_map_with(
+            inputs,
+            self.cfg.effective_threads(),
+            crate::compiled::ExtractScratch::new,
+            |scratch, _, (html, q)| match Page::try_from_html(html, *q, &self.cfg.budget) {
                 Ok((page, diags)) => {
-                    let mut ex = self.extract_page_cached(&page, cache);
+                    let mut ex = cw.extract_page_scratch(&page, cache, scratch);
                     ex.diagnostics.splice(0..0, diags);
                     ex
                 }
                 Err(e) => Extraction::degraded(&e),
-            }
-        })
+            },
+        )
     }
 }
 

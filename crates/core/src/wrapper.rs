@@ -289,6 +289,12 @@ pub fn start_chain(dom: &mse_dom::Dom, node: NodeId) -> String {
 
 /// Partition a container node's children into records by separator start
 /// chains; returns record line ranges in document order.
+///
+/// Per-container work (child start chains, child line spans) is hoisted in
+/// front of the grouping loop: the old shape re-scanned every page line
+/// once per *group* (`lines_of_nodes`), making wrapper application
+/// O(groups × lines × depth); one pass over the lines now computes every
+/// child's span, and a group's span is a min/max merge of its members'.
 pub fn partition_by_seps(page: &Page, container: NodeId, seps: &[String]) -> Vec<Rec> {
     let dom = &page.rp.dom;
     // Children that carry viewable content.
@@ -303,54 +309,62 @@ pub fn partition_by_seps(page: &Page, container: NodeId, seps: &[String]) -> Vec
     if kids.is_empty() {
         return vec![];
     }
-    // Group children: a child whose start chain is a separator opens a new
-    // group.
-    let mut groups: Vec<Vec<NodeId>> = Vec::new();
-    for k in kids {
+    // Hoisted span pass: each viewable leaf belongs to at most one child of
+    // `container` (its unique ancestor-or-self whose parent is the
+    // container), so one climb per leaf attributes every line to its kid.
+    let kid_index: std::collections::HashMap<NodeId, usize> =
+        kids.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    let mut kid_spans: Vec<Option<(usize, usize)>> = vec![None; kids.len()];
+    for (idx, line) in page.rp.lines.iter().enumerate() {
+        for &leaf in &line.leaves {
+            let mut cur = Some(leaf);
+            while let Some(n) = cur {
+                if dom[n].parent == Some(container) {
+                    if let Some(&ki) = kid_index.get(&n) {
+                        let span = kid_spans[ki].get_or_insert((idx, idx + 1));
+                        span.0 = span.0.min(idx);
+                        span.1 = span.1.max(idx + 1);
+                    }
+                    break;
+                }
+                cur = dom[n].parent;
+            }
+        }
+    }
+    // Group children (a child whose start chain is a separator opens a new
+    // group), merging the precomputed spans as we go.
+    let mut out: Vec<Option<(usize, usize)>> = Vec::new();
+    for (ki, &k) in kids.iter().enumerate() {
         let chain = start_chain(dom, k);
         let is_sep = seps.contains(&chain);
-        match groups.last_mut() {
-            Some(g) if !is_sep => g.push(k),
-            _ => groups.push(vec![k]),
+        let span = kid_spans[ki];
+        match out.last_mut() {
+            Some(g) if !is_sep => {
+                if let Some((lo, hi)) = span {
+                    let merged = g.get_or_insert((lo, hi));
+                    merged.0 = merged.0.min(lo);
+                    merged.1 = merged.1.max(hi);
+                }
+            }
+            _ => out.push(span),
         }
     }
-    // Map node groups to line ranges.
-    let mut out = Vec::new();
-    for g in groups {
-        if let Some((lo, hi)) = lines_of_nodes(page, &g) {
-            out.push(Rec::new(lo, hi));
-        }
-    }
+    let out: Vec<Rec> = out
+        .into_iter()
+        .flatten()
+        .map(|(lo, hi)| Rec::new(lo, hi))
+        .collect();
     // Drop overlapping/degenerate ranges defensively (nested containers can
     // map two groups to one line).
-    out.dedup();
+    let mut deduped = out;
+    deduped.dedup();
     let mut clean: Vec<Rec> = Vec::new();
-    for r in out {
+    for r in deduped {
         if clean.last().map(|p| r.start >= p.end).unwrap_or(true) {
             clean.push(r);
         }
     }
     clean
-}
-
-/// The line span covered by a set of nodes' leaves.
-fn lines_of_nodes(page: &Page, nodes: &[NodeId]) -> Option<(usize, usize)> {
-    let dom = &page.rp.dom;
-    let mut lo = None;
-    let mut hi = None;
-    for (idx, line) in page.rp.lines.iter().enumerate() {
-        let covered = line
-            .leaves
-            .iter()
-            .any(|&leaf| nodes.iter().any(|&n| n == leaf || dom.is_ancestor(n, leaf)));
-        if covered {
-            if lo.is_none() {
-                lo = Some(idx);
-            }
-            hi = Some(idx + 1);
-        }
-    }
-    Some((lo?, hi?))
 }
 
 /// One wrapper application attempt on a page: the best-matching container

@@ -1,0 +1,275 @@
+//! Global tag-name interner.
+//!
+//! The extraction *serving* path (applying a learned wrapper to a fresh
+//! result page) compares tag names, tag paths and record start-chains
+//! millions of times per second. Comparing heap `String`s there is pure
+//! overhead: the universe of distinct tag names in any corpus is tiny and
+//! fixed. This module maps each distinct name to a [`Symbol`] — a `u32`
+//! stable for the lifetime of the process — so every hot-path comparison
+//! becomes one integer compare, and compiled wrappers can store tag paths
+//! as flat `u32` arrays.
+//!
+//! Properties:
+//!
+//! * **Injective**: two calls to [`intern`] return the same `Symbol` iff
+//!   the names are byte-identical, so symbol equality is exactly string
+//!   equality (the compiled wrapper path relies on this for byte-identical
+//!   output with the legacy string path).
+//! * **Global and append-only**: symbols never move or expire. The common
+//!   HTML vocabulary is pre-seeded at first use, so steady-state interning
+//!   of real pages is a read-lock lookup that never takes the write lock.
+//! * **Thread-safe**: any thread may intern/resolve concurrently.
+//!
+//! Memory: one copy of each distinct name is kept forever (names are
+//! leaked into `&'static str`s so [`resolve`] can hand out references
+//! without locking callers into a guard). Growth is bounded by the number
+//! of *distinct* tag names ever seen, which per-page input budgets keep
+//! per-request-bounded; a hostile tenant feeding endless invented tags
+//! grows the table slowly (one small allocation per new name), which is
+//! the standard global-interner trade-off and is called out in DESIGN.md
+//! §11.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned tag name. `Symbol`s are plain `u32` indices: `Copy`,
+/// `Eq`/`Ord`/`Hash` by value, and equal iff the interned strings are
+/// equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Sentinel for "no tag here" (non-element nodes, padding in
+    /// fixed-width chains). Never returned by [`intern`], never equal to
+    /// any interned symbol.
+    pub const NONE: Symbol = Symbol(u32::MAX);
+
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == Symbol::NONE
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            write!(f, "sym(∅)")
+        } else {
+            match resolve(*self) {
+                Some(name) => write!(f, "sym({name})"),
+                None => write!(f, "sym#{}", self.0),
+            }
+        }
+    }
+}
+
+/// Start-chain label of a text leaf (see `start_chain` in `mse-core`).
+pub const TEXT_LABEL: &str = "#text";
+/// Start-chain label of a non-element, non-text node.
+pub const NODE_LABEL: &str = "#node";
+
+struct Interner {
+    map: RwLock<HashMap<&'static str, Symbol>>,
+    names: RwLock<Vec<&'static str>>,
+}
+
+/// The common 2006-era HTML vocabulary, pre-seeded so that interning
+/// ordinary pages never takes the write lock.
+const SEED_TAGS: &[&str] = &[
+    TEXT_LABEL,
+    NODE_LABEL,
+    "html",
+    "head",
+    "body",
+    "title",
+    "meta",
+    "link",
+    "script",
+    "style",
+    "table",
+    "tbody",
+    "thead",
+    "tfoot",
+    "tr",
+    "td",
+    "th",
+    "div",
+    "span",
+    "p",
+    "a",
+    "b",
+    "i",
+    "u",
+    "em",
+    "strong",
+    "font",
+    "big",
+    "small",
+    "br",
+    "hr",
+    "img",
+    "ul",
+    "ol",
+    "li",
+    "dl",
+    "dt",
+    "dd",
+    "h1",
+    "h2",
+    "h3",
+    "h4",
+    "h5",
+    "h6",
+    "form",
+    "input",
+    "select",
+    "option",
+    "textarea",
+    "button",
+    "center",
+    "blockquote",
+    "pre",
+    "code",
+    "nobr",
+    "sup",
+    "sub",
+];
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        let mut map = HashMap::with_capacity(SEED_TAGS.len() * 2);
+        let mut names = Vec::with_capacity(SEED_TAGS.len() * 2);
+        for &tag in SEED_TAGS {
+            // Seed list entries are distinct; insert preserves first-wins
+            // ids either way.
+            map.entry(tag).or_insert_with(|| {
+                let sym = Symbol(names.len() as u32);
+                names.push(tag);
+                sym
+            });
+        }
+        Interner {
+            map: RwLock::new(map),
+            names: RwLock::new(names),
+        }
+    })
+}
+
+/// Intern a name, returning its process-stable [`Symbol`]. Lock poisoning
+/// is recovered from (the tables are append-only; a panicked writer leaves
+/// at worst a fully-inserted entry).
+pub fn intern(name: &str) -> Symbol {
+    let int = interner();
+    if let Some(&sym) = int.map.read().unwrap_or_else(|p| p.into_inner()).get(name) {
+        return sym;
+    }
+    let mut map = int.map.write().unwrap_or_else(|p| p.into_inner());
+    // Double-check: another thread may have interned between the locks.
+    if let Some(&sym) = map.get(name) {
+        return sym;
+    }
+    let mut names = int.names.write().unwrap_or_else(|p| p.into_inner());
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let sym = Symbol(names.len() as u32);
+    names.push(leaked);
+    map.insert(leaked, sym);
+    sym
+}
+
+/// Look a name up without inserting it.
+pub fn lookup(name: &str) -> Option<Symbol> {
+    interner()
+        .map
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .get(name)
+        .copied()
+}
+
+/// The string a symbol was interned from (`None` for [`Symbol::NONE`] or a
+/// symbol from a different process).
+pub fn resolve(sym: Symbol) -> Option<&'static str> {
+    if sym.is_none() {
+        return None;
+    }
+    interner()
+        .names
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .get(sym.0 as usize)
+        .copied()
+}
+
+/// Number of distinct names interned so far (seed vocabulary included).
+pub fn interned_count() -> usize {
+    interner()
+        .names
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_are_stable_and_injective() {
+        let a = intern("table");
+        let b = intern("weird-custom-tag");
+        assert_ne!(a, b);
+        assert_eq!(intern("table"), a);
+        assert_eq!(intern("weird-custom-tag"), b);
+        assert_ne!(intern("tr"), intern("td"));
+        assert!(!a.is_none());
+        assert!(Symbol::NONE.is_none());
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        for name in ["html", "td", "#text", "another-odd-tag-xyz"] {
+            let sym = intern(name);
+            assert_eq!(resolve(sym), Some(name));
+        }
+        assert_eq!(resolve(Symbol::NONE), None);
+        assert_eq!(resolve(Symbol(u32::MAX - 1)), None);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let before = interned_count();
+        assert_eq!(lookup("never-interned-lookup-only-tag"), None);
+        assert_eq!(interned_count(), before);
+        let sym = intern("now-interned-tag");
+        assert_eq!(lookup("now-interned-tag"), Some(sym));
+    }
+
+    #[test]
+    fn seed_vocabulary_present() {
+        for &tag in SEED_TAGS {
+            assert!(lookup(tag).is_some(), "seed tag {tag} missing");
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let names: Vec<String> = (0..64).map(|i| format!("race-tag-{i}")).collect();
+        let results: Vec<Vec<Symbol>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let names = &names;
+                    scope.spawn(move || names.iter().map(|n| intern(n)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "threads disagree on symbols");
+        }
+        // And every symbol resolves back to its name.
+        for (name, &sym) in names.iter().zip(&results[0]) {
+            assert_eq!(resolve(sym), Some(name.as_str()));
+        }
+    }
+}

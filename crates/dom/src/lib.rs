@@ -45,6 +45,7 @@
 
 pub mod entity;
 pub mod error;
+pub mod intern;
 pub mod node;
 pub mod parser;
 pub mod serialize;
@@ -52,6 +53,7 @@ pub mod tagpath;
 pub mod tokenizer;
 
 pub use error::{DomError, ParseLimits, DEFAULT_MAX_DEPTH};
+pub use intern::{intern, resolve, Symbol};
 pub use node::{Attr, Dom, NodeData, NodeId, NodeKind};
 pub use parser::{parse, parse_with_limits};
 pub use tagpath::{

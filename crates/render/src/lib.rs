@@ -35,5 +35,5 @@ pub mod style;
 pub use error::RenderError;
 pub use layout::{render_lines, render_lines_capped, render_lines_strict};
 pub use line::{dpl, dtl, ContentLine, LineType, POSITION_K};
-pub use page::{cover_forest, render, RenderedPage};
+pub use page::{cover_forest, render, PageSigs, RenderedPage};
 pub use style::{dtal, FontStyle, LineAttrs, TextAttr};

@@ -3,22 +3,139 @@
 
 use crate::layout::render_lines;
 use crate::line::ContentLine;
+use mse_dom::intern::{self, Symbol};
 use mse_dom::{Dom, NodeId, NodeKind};
 use std::collections::HashSet;
+
+/// Precomputed per-node / per-line signatures for the extraction serving
+/// path (see DESIGN.md §11).
+///
+/// Applying a compiled wrapper to a page needs, per DOM node, its interned
+/// tag label, its record *start chain* (tag + first-viewable-child chain,
+/// depth 3) and the content-line span its leaves cover. All three are
+/// derivable from the DOM, but deriving them inside the wrapper-matching
+/// loop costs a `String` allocation per child (start chains) and a full
+/// page scan per record (line spans). Computing them once at render time
+/// makes wrapper application allocation-free integer work.
+#[derive(Clone, Debug, Default)]
+pub struct PageSigs {
+    /// Per node: interned start-chain label — the element's tag, `#text`
+    /// for a non-whitespace text node, [`Symbol::NONE`] for anything that
+    /// can never start a record (whitespace text, comments, the document
+    /// root). `labels[n] != NONE` is exactly the "viewable child" test.
+    pub labels: Vec<Symbol>,
+    /// Per node: the start chain (depth 3, padded with [`Symbol::NONE`]).
+    /// Equal chains ⇔ equal `start_chain` strings.
+    pub chains: Vec<[Symbol; 3]>,
+    /// Per node: half-open content-line span covered by the node's
+    /// viewable leaves (`(u32::MAX, 0)` when it covers none).
+    pub spans: Vec<(u32, u32)>,
+    /// Per line: the [`LineType`](crate::LineType) code — record shapes
+    /// compare against these without materializing a `Vec<u8>` per record.
+    pub line_types: Vec<u8>,
+}
+
+impl PageSigs {
+    /// The sentinel span of a node covering no content line.
+    pub const NO_SPAN: (u32, u32) = (u32::MAX, 0);
+
+    /// Compute all signatures for a rendered page. `O(nodes + lines)`.
+    pub fn build(dom: &Dom, lines: &[ContentLine]) -> PageSigs {
+        let n = dom.len();
+        let text_sym = intern::intern(intern::TEXT_LABEL);
+        let mut labels = vec![Symbol::NONE; n];
+        for (id, label) in labels.iter_mut().enumerate() {
+            *label = match &dom[NodeId(id as u32)].kind {
+                NodeKind::Element { tag, .. } => intern::intern(tag),
+                NodeKind::Text(t) if !t.trim().is_empty() => text_sym,
+                _ => Symbol::NONE,
+            };
+        }
+        // First viewable child per node (the next link of a start chain).
+        let first_viewable: Vec<Option<NodeId>> = (0..n)
+            .map(|id| {
+                dom.children(NodeId(id as u32))
+                    .find(|&c| labels[c.index()] != Symbol::NONE)
+            })
+            .collect();
+        let mut chains = vec![[Symbol::NONE; 3]; n];
+        for (id, chain) in chains.iter_mut().enumerate() {
+            let mut cur = Some(NodeId(id as u32));
+            for slot in chain.iter_mut() {
+                let Some(c) = cur else { break };
+                *slot = labels[c.index()];
+                cur = first_viewable[c.index()];
+            }
+        }
+        // Leaf lines, then one post-order pass lifting spans to ancestors.
+        let mut spans = vec![Self::NO_SPAN; n];
+        for (idx, line) in lines.iter().enumerate() {
+            for &leaf in &line.leaves {
+                let s = &mut spans[leaf.index()];
+                s.0 = s.0.min(idx as u32);
+                s.1 = s.1.max(idx as u32 + 1);
+            }
+        }
+        // Iterative post-order: a node pops after all its descendants have
+        // merged into it, then merges itself into its parent.
+        let mut stack: Vec<(NodeId, bool)> = vec![(dom.root(), false)];
+        while let Some((node, processed)) = stack.pop() {
+            if processed {
+                if let Some(parent) = dom[node].parent {
+                    let child = spans[node.index()];
+                    let s = &mut spans[parent.index()];
+                    s.0 = s.0.min(child.0);
+                    s.1 = s.1.max(child.1);
+                }
+            } else {
+                stack.push((node, true));
+                for c in dom.children(node) {
+                    stack.push((c, false));
+                }
+            }
+        }
+        let line_types = lines.iter().map(|l| l.ltype.code()).collect();
+        PageSigs {
+            labels,
+            chains,
+            spans,
+            line_types,
+        }
+    }
+
+    /// The line span of a node as `Option<(lo, hi)>`.
+    #[inline]
+    pub fn span(&self, node: NodeId) -> Option<(usize, usize)> {
+        match self.spans.get(node.index()) {
+            Some(&s) if s != Self::NO_SPAN => Some((s.0 as usize, s.1 as usize)),
+            _ => None,
+        }
+    }
+}
 
 /// A parsed and rendered result page.
 #[derive(Clone, Debug)]
 pub struct RenderedPage {
     pub dom: Dom,
     pub lines: Vec<ContentLine>,
+    /// Serving-path signatures (see [`PageSigs`]), computed once here so
+    /// extraction never re-derives them per wrapper application.
+    pub sigs: PageSigs,
 }
 
 impl RenderedPage {
+    /// Assemble a page from a DOM and its rendered lines, computing the
+    /// serving-path signatures.
+    pub fn assemble(dom: Dom, lines: Vec<ContentLine>) -> RenderedPage {
+        let sigs = PageSigs::build(&dom, &lines);
+        RenderedPage { dom, lines, sigs }
+    }
+
     /// Parse + render HTML source.
     pub fn from_html(html: &str) -> RenderedPage {
         let dom = mse_dom::parse(html);
         let lines = render_lines(&dom);
-        RenderedPage { dom, lines }
+        RenderedPage::assemble(dom, lines)
     }
 
     /// All viewable leaves covered by the line range `[start, end)`.
@@ -39,7 +156,7 @@ impl RenderedPage {
 /// Render an already-parsed DOM.
 pub fn render(dom: Dom) -> RenderedPage {
     let lines = render_lines(&dom);
-    RenderedPage { dom, lines }
+    RenderedPage::assemble(dom, lines)
 }
 
 /// Is this node a viewable leaf (the units content lines are made of)?

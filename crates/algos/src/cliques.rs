@@ -35,13 +35,17 @@ fn bk(
         out.push(clique);
         return;
     }
-    // Pivot: vertex in P ∪ X with the most neighbours in P.
-    let pivot = p
+    // Pivot: vertex in P ∪ X with the most neighbours in P. The early
+    // return above guarantees P ∪ X is non-empty, but keep the bail-out
+    // explicit rather than unwrapping.
+    let Some(pivot) = p
         .iter()
         .chain(x.iter())
         .copied()
         .max_by_key(|&u| adj[u].intersection(&p).count())
-        .unwrap();
+    else {
+        return;
+    };
     let candidates: Vec<usize> = p.difference(&adj[pivot]).copied().collect();
     for v in candidates {
         r.push(v);

@@ -10,6 +10,15 @@
 //!   with pivoting; MSE keeps cliques of size ≥ 2 as section instance
 //!   groups.
 
+// Panic-free and unsafe-free gates (see DESIGN.md §12): untrusted input
+// must never abort the process, and the counting allocator in `mse-bench`
+// is the workspace's only unsafe carve-out. Tests keep their unwraps.
+#![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod cliques;
 pub mod marriage;
 

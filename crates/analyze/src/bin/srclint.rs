@@ -1,0 +1,130 @@
+//! Hot-path source linter CLI.
+//!
+//! ```text
+//! srclint [--json] [--root DIR] [FILE...]
+//! ```
+//!
+//! With no `FILE` arguments, lints the serving path's declared hot files
+//! (relative to `--root`, default `.`): the compiled matcher, the tag
+//! interner's fast path, the work-stealing claim loop, the render
+//! signature pass, and the counting allocator (the one `unsafe`
+//! carve-out). Exit code 0 when every file is clean, 1 when any finding
+//! is reported (CI treats this as `-D warnings`), 2 on usage or I/O
+//! errors.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use mse_analyze::report::Report;
+use mse_analyze::rules::{lint_source, LintOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The serving-path files `srclint` pins by default, with per-file
+/// policy. Every entry except the allocator must declare at least one
+/// `mse:hot` region; only the allocator may contain `unsafe`.
+const DEFAULT_FILES: &[(&str, bool, bool)] = &[
+    // (path, require_regions, allow_unsafe)
+    ("crates/core/src/compiled.rs", true, false),
+    ("crates/dom/src/intern.rs", true, false),
+    ("crates/core/src/par.rs", true, false),
+    ("crates/render/src/page.rs", true, false),
+    ("crates/bench/src/alloc.rs", false, true),
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: srclint [--json] [--root DIR] [FILE...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("usage: srclint [--json] [--root DIR] [FILE...]");
+                return ExitCode::SUCCESS;
+            }
+            s if s.starts_with('-') => return usage(),
+            s => files.push(PathBuf::from(s)),
+        }
+    }
+
+    // (display path, absolute path, options)
+    let targets: Vec<(String, PathBuf, LintOptions)> = if files.is_empty() {
+        DEFAULT_FILES
+            .iter()
+            .map(|&(rel, require_regions, allow_unsafe)| {
+                (
+                    rel.to_string(),
+                    root.join(rel),
+                    LintOptions {
+                        require_regions,
+                        allow_unsafe,
+                    },
+                )
+            })
+            .collect()
+    } else {
+        // Explicit files: no region requirement, no unsafe allowance —
+        // ad-hoc scans should see everything.
+        files
+            .into_iter()
+            .map(|p| {
+                (
+                    p.display().to_string(),
+                    p.clone(),
+                    LintOptions {
+                        require_regions: false,
+                        allow_unsafe: false,
+                    },
+                )
+            })
+            .collect()
+    };
+
+    let mut combined = Report::new();
+    for (display, path, opts) in &targets {
+        match std::fs::read_to_string(path) {
+            Ok(src) => combined.merge(lint_source(display, &src, opts)),
+            Err(e) => {
+                eprintln!("srclint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    combined.sort();
+
+    if json {
+        match serde_json::to_string_pretty(&combined) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("srclint: cannot serialize report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for f in &combined.findings {
+            println!("{f}");
+        }
+        println!(
+            "srclint: {} file(s), {} error(s), {} warning(s)",
+            targets.len(),
+            combined.errors,
+            combined.warnings
+        );
+    }
+    if combined.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

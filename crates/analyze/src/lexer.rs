@@ -1,0 +1,432 @@
+//! A minimal hand-rolled Rust lexer for the hot-path source linter.
+//!
+//! `srclint` needs just enough token structure to tell a method call
+//! `.clone(` from an identifier that happens to contain "clone", a char
+//! literal from a lifetime, and code from comments/strings — the places a
+//! regex-based scan produces false positives. It does **not** parse: the
+//! rule engine ([`crate::rules`]) works on this flat token stream plus
+//! brace depth. Constructs newer than the repo's own source (e.g. exotic
+//! literal suffixes) only need to lex *safely*, not precisely.
+
+/// Token classes the rule engine distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `unsafe`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Number literal.
+    Number,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation. `::` is one token; everything else is one char.
+    Punct,
+    /// Line or block comment, text included (the rule engine reads
+    /// `mse:hot` region markers and `mse:allow` waivers out of these).
+    Comment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advance `n` bytes, counting newlines.
+    fn bump(&mut self, n: usize) {
+        let end = (self.pos + n).min(self.bytes.len());
+        for &b in &self.bytes[self.pos..end] {
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.pos = end;
+    }
+
+    fn slice(&self, start: usize) -> &'a str {
+        self.src.get(start..self.pos).unwrap_or("")
+    }
+}
+
+/// Lex a source file into tokens. Never panics on malformed input: an
+/// unterminated string or comment simply extends to end of file.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let mut c = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek(0) {
+        let start = c.pos;
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => c.bump(1),
+            b'/' if c.peek(1) == Some(b'/') => {
+                let mut n = 2;
+                while let Some(nb) = c.peek(n) {
+                    if nb == b'\n' {
+                        break;
+                    }
+                    n += 1;
+                }
+                c.bump(n);
+                out.push(Tok {
+                    kind: TokKind::Comment,
+                    text: c.slice(start),
+                    line,
+                });
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                c.bump(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(0), c.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump(2);
+                        }
+                        (Some(_), _) => c.bump(1),
+                        (None, _) => break,
+                    }
+                }
+                out.push(Tok {
+                    kind: TokKind::Comment,
+                    text: c.slice(start),
+                    line,
+                });
+            }
+            b'"' => {
+                lex_string(&mut c);
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: c.slice(start),
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&c) => {
+                lex_raw_or_byte(&mut c);
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: c.slice(start),
+                    line,
+                });
+            }
+            b'b' if c.peek(1) == Some(b'\'') => {
+                c.bump(1);
+                lex_char(&mut c);
+                out.push(Tok {
+                    kind: TokKind::Char,
+                    text: c.slice(start),
+                    line,
+                });
+            }
+            b'\'' => {
+                if is_lifetime(&c) {
+                    c.bump(1);
+                    let mut n = 0;
+                    while c
+                        .peek(n)
+                        .map(|nb| is_ident_continue(nb as char))
+                        .unwrap_or(false)
+                    {
+                        n += 1;
+                    }
+                    c.bump(n);
+                    out.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: c.slice(start),
+                        line,
+                    });
+                } else {
+                    lex_char(&mut c);
+                    out.push(Tok {
+                        kind: TokKind::Char,
+                        text: c.slice(start),
+                        line,
+                    });
+                }
+            }
+            _ if is_ident_start(b as char) || b >= 0x80 => {
+                let rest = &src[c.pos..];
+                let n: usize = rest
+                    .char_indices()
+                    .find(|&(i, ch)| i > 0 && !is_ident_continue(ch))
+                    .map(|(i, _)| i)
+                    .unwrap_or(rest.len());
+                c.bump(n.max(1));
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: c.slice(start),
+                    line,
+                });
+            }
+            b'0'..=b'9' => {
+                let mut n = 1;
+                while c
+                    .peek(n)
+                    .map(|nb| is_ident_continue(nb as char))
+                    .unwrap_or(false)
+                {
+                    n += 1;
+                }
+                c.bump(n);
+                out.push(Tok {
+                    kind: TokKind::Number,
+                    text: c.slice(start),
+                    line,
+                });
+            }
+            b':' if c.peek(1) == Some(b':') => {
+                c.bump(2);
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.slice(start),
+                    line,
+                });
+            }
+            _ => {
+                c.bump(1);
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.slice(start),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `'` starts a lifetime (not a char literal) when followed by an ident
+/// char that is *not* itself closed by another `'` — `'a)` is a lifetime,
+/// `'a'` is a char.
+fn is_lifetime(c: &Cursor<'_>) -> bool {
+    match c.peek(1) {
+        Some(nb) if is_ident_start(nb as char) => {
+            let mut n = 2;
+            while c
+                .peek(n)
+                .map(|b| is_ident_continue(b as char))
+                .unwrap_or(false)
+            {
+                n += 1;
+            }
+            c.peek(n) != Some(b'\'')
+        }
+        _ => false,
+    }
+}
+
+fn lex_char(c: &mut Cursor<'_>) {
+    // At the opening quote.
+    c.bump(1);
+    match c.peek(0) {
+        Some(b'\\') => c.bump(2),
+        Some(_) => {
+            // Multi-byte chars: bump one whole char.
+            let rest = &c.src[c.pos..];
+            let n = rest.chars().next().map(|ch| ch.len_utf8()).unwrap_or(1);
+            c.bump(n);
+        }
+        None => return,
+    }
+    if c.peek(0) == Some(b'\'') {
+        c.bump(1);
+    }
+}
+
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(1);
+    while let Some(b) = c.peek(0) {
+        match b {
+            b'\\' => c.bump(2),
+            b'"' => {
+                c.bump(1);
+                return;
+            }
+            _ => c.bump(1),
+        }
+    }
+}
+
+/// At `r`/`b`: does a raw (`r"`, `r#"`, `br"`) or byte (`b"`) string
+/// start here?
+fn starts_raw_or_byte_string(c: &Cursor<'_>) -> bool {
+    let mut n = 0;
+    if c.peek(n) == Some(b'b') {
+        n += 1;
+    }
+    if c.peek(n) == Some(b'r') {
+        n += 1;
+        while c.peek(n) == Some(b'#') {
+            n += 1;
+        }
+    }
+    n > 0
+        && c.peek(n) == Some(b'"')
+        && !(n == 1 && c.peek(0) == Some(b'b') && c.peek(1) != Some(b'"'))
+}
+
+fn lex_raw_or_byte(c: &mut Cursor<'_>) {
+    if c.peek(0) == Some(b'b') {
+        c.bump(1);
+    }
+    let raw = c.peek(0) == Some(b'r');
+    if raw {
+        c.bump(1);
+    }
+    let mut hashes = 0usize;
+    while c.peek(0) == Some(b'#') {
+        hashes += 1;
+        c.bump(1);
+    }
+    // Opening quote.
+    c.bump(1);
+    if !raw {
+        // Plain byte string: escapes apply.
+        while let Some(b) = c.peek(0) {
+            match b {
+                b'\\' => c.bump(2),
+                b'"' => {
+                    c.bump(1);
+                    return;
+                }
+                _ => c.bump(1),
+            }
+        }
+        return;
+    }
+    // Raw string: ends at `"` followed by `hashes` hashes; no escapes.
+    while let Some(b) = c.peek(0) {
+        if b == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if c.peek(1 + k) != Some(b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                c.bump(1 + hashes);
+                return;
+            }
+        }
+        c.bump(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_punct_and_paths() {
+        let toks = kinds("Vec::new()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "Vec".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "new".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "a.clone() // not code"; x"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("clone")));
+        // No ident token "clone" escaped the string.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "clone"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"r#"embedded "quote" here"# after"###);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1], (TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn comments_captured_with_lines() {
+        let toks = lex("a\n// mse:hot begin(x)\nb /* block\nspans */ c");
+        let comments: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("mse:hot"));
+        assert_eq!(comments[1].line, 3);
+        // Token after the multi-line block comment is on line 4.
+        let c_tok = toks.iter().find(|t| t.text == "c").map(|t| t.line);
+        assert_eq!(c_tok, Some(4));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ tail");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn never_panics_on_malformed() {
+        for src in ["\"unterminated", "/* open", "'", "r#\"open", "b'", "'a"] {
+            let _ = lex(src);
+        }
+    }
+}

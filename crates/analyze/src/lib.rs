@@ -1,0 +1,32 @@
+//! `mse-analyze`: static verification for the MSE extraction system.
+//!
+//! Two analysis engines share one report format ([`report`]):
+//!
+//! * **Wrapper verifier** ([`verify`]) — checks a learned
+//!   [`SectionWrapperSet`](mse_core::pipeline::SectionWrapperSet) (and
+//!   its compiled, symbol-lowered form) for defects that would corrupt
+//!   serving: ambiguous container paths, unmatchable separators,
+//!   unbounded family matches, unreachable record branches, threshold
+//!   invariant violations and dangling interner symbols. Exposed as a
+//!   library, via `mse lint`, and as the opt-in strict pre-serve gate
+//!   ([`preserve_gate`]) keyed off `MseConfig::strict_verify`.
+//! * **Hot-path source linter** ([`rules`], the `srclint` bin) — a
+//!   dependency-free Rust lexer plus rule engine that scans `// mse:hot`
+//!   regions in the serving-path sources for allocation, panics,
+//!   unguarded recursion and `unsafe`, turning the zero-alloc and
+//!   panic-freedom guarantees into CI-enforced static invariants.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod verify;
+
+pub use report::{Finding, Report, Severity};
+pub use rules::{lint_source, LintOptions};
+pub use verify::{preserve_gate, verify, verify_compiled};

@@ -1,0 +1,226 @@
+//! Findings and machine-readable reports shared by both analysis engines
+//! (the wrapper verifier and the hot-path source linter).
+//!
+//! A [`Report`] is a flat list of [`Finding`]s plus severity tallies; it
+//! serializes to the JSON shape documented in README ("`mse lint`") so CI
+//! jobs and operators consume one format regardless of which analyzer
+//! produced it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// * `Error` — the artifact is defective: the wrapper set would misbehave
+///   when served (or the hot region violates a pinned invariant). Errors
+///   trip the strict pre-serve gate and make `mse lint` / `srclint` exit
+///   non-zero.
+/// * `Warning` — suspicious but servable; never trips the gate.
+/// * `Info` — observations surfaced only for operators reading the report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One issue found by an analyzer.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    pub severity: Severity,
+    /// Stable machine-readable code (kebab-case, e.g. `sep-empty-set`).
+    pub code: String,
+    /// What the finding is about: `config`, `set`, `wrapper[3]`,
+    /// `family[0]`, or `file:line` for source findings.
+    pub target: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(
+        severity: Severity,
+        code: impl Into<String>,
+        target: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            severity,
+            code: code.into(),
+            target: target.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} [{}] {}",
+            self.severity, self.target, self.code, self.message
+        )
+    }
+}
+
+/// Target label helpers, so every analyzer spells targets identically.
+pub fn target_config() -> String {
+    "config".to_string()
+}
+pub fn target_set() -> String {
+    "set".to_string()
+}
+pub fn target_wrapper(i: usize) -> String {
+    format!("wrapper[{i}]")
+}
+pub fn target_family(i: usize) -> String {
+    format!("family[{i}]")
+}
+
+/// The result of running an analyzer: all findings, most severe first.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    /// Tallies, denormalized for cheap JSON consumers.
+    pub errors: usize,
+    pub warnings: usize,
+}
+
+impl Report {
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    pub fn push(&mut self, finding: Finding) {
+        match finding.severity {
+            Severity::Error => self.errors += 1,
+            Severity::Warning => self.warnings += 1,
+            Severity::Info => {}
+        }
+        self.findings.push(finding);
+    }
+
+    pub fn error(
+        &mut self,
+        code: impl Into<String>,
+        target: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.push(Finding::new(Severity::Error, code, target, message));
+    }
+
+    pub fn warning(
+        &mut self,
+        code: impl Into<String>,
+        target: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.push(Finding::new(Severity::Warning, code, target, message));
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.errors > 0
+    }
+
+    /// Merge another report into this one (tallies included).
+    pub fn merge(&mut self, other: Report) {
+        self.errors += other.errors;
+        self.warnings += other.warnings;
+        self.findings.extend(other.findings);
+    }
+
+    /// Sort findings most-severe-first, preserving discovery order within
+    /// a severity class.
+    pub fn sort(&mut self) {
+        self.findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    }
+
+    /// One-line digest of the error-level findings (for
+    /// [`BuildError::Verification`](mse_core::error::BuildError)): the
+    /// first few error codes with their targets.
+    pub fn error_summary(&self) -> String {
+        const MAX: usize = 3;
+        let mut parts: Vec<String> = self
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .take(MAX)
+            .map(|f| format!("{} on {}", f.code, f.target))
+            .collect();
+        if self.errors > MAX {
+            parts.push(format!("and {} more", self.errors - MAX));
+        }
+        parts.join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_and_predicates() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+        r.warning("w-code", target_wrapper(0), "odd");
+        assert!(!r.is_clean());
+        assert!(!r.has_errors());
+        r.error("e-code", target_config(), "bad");
+        assert!(r.has_errors());
+        assert_eq!(r.errors, 1);
+        assert_eq!(r.warnings, 1);
+    }
+
+    #[test]
+    fn sort_is_stable_most_severe_first() {
+        let mut r = Report::new();
+        r.warning("w1", target_set(), "");
+        r.error("e1", target_set(), "");
+        r.push(Finding::new(Severity::Info, "i1", target_set(), ""));
+        r.error("e2", target_set(), "");
+        r.sort();
+        let codes: Vec<&str> = r.findings.iter().map(|f| f.code.as_str()).collect();
+        assert_eq!(codes, ["e1", "e2", "w1", "i1"]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut r = Report::new();
+        r.error(
+            "sep-empty-set",
+            target_wrapper(2),
+            "wrapper has no separators",
+        );
+        let json = serde_json::to_string(&r).unwrap_or_default();
+        assert!(json.contains("\"sep-empty-set\""));
+        assert!(json.contains("wrapper[2]"));
+        let back: Report = serde_json::from_str(&json).unwrap_or_default();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn error_summary_digest() {
+        let mut r = Report::new();
+        for i in 0..5 {
+            r.error(format!("code-{i}"), target_wrapper(i), "");
+        }
+        let s = r.error_summary();
+        assert!(s.contains("code-0 on wrapper[0]"));
+        assert!(s.contains("and 2 more"));
+    }
+}

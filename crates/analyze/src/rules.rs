@@ -1,0 +1,566 @@
+//! Rule engine for the hot-path source linter (`srclint`).
+//!
+//! The serving path's two headline invariants — zero allocation per page
+//! and panic-freedom on untrusted input — are enforced dynamically (the
+//! counting allocator in `mse-bench`, the fuzz suite). This engine pins
+//! them *statically*: files declare hot regions with marker comments,
+//!
+//! ```text
+//! // mse:hot begin(region-name)
+//! ...
+//! // mse:hot end(region-name)
+//! ```
+//!
+//! and every token inside a region is checked against the rules below.
+//! A site that is provably fine (e.g. indexing guarded by an explicit
+//! bounds check) carries a waiver on the same or the preceding line, with
+//! a mandatory reason:
+//!
+//! ```text
+//! // mse:allow(index): i < items.len() checked above
+//! ```
+//!
+//! Rules:
+//!
+//! * `alloc` — allocation-prone constructs: `format!`/`vec!` macros,
+//!   `.to_string()`, `.to_owned()`, `.to_vec()`, `.collect()`,
+//!   `.clone()`, `.join()`, and `Vec::new` / `Box::new` / `String::new` /
+//!   `String::from` / `*::with_capacity` constructor calls.
+//! * `index` — `[`-indexing (panics on out-of-bounds). Array literals,
+//!   attributes and types are distinguished by the preceding token.
+//! * `panic` — `panic!`, `unreachable!`, `todo!`, `unimplemented!`,
+//!   `assert*!` macros and `.unwrap()` / `.expect()`. `debug_assert*!` is
+//!   exempt (compiled out of release serving builds).
+//! * `recursion` — a function calling itself inside a hot region
+//!   (unbounded stack on adversarial input; hot loops are iterative).
+//! * `unsafe` — the `unsafe` keyword anywhere in the *file* (not just hot
+//!   regions), unless the file is on the caller's allowlist. This backs
+//!   the workspace-wide `#![deny(unsafe_code)]` satellite: the one
+//!   carve-out (the counting allocator) is explicit in CI config, not
+//!   implicit in source.
+//!
+//! Marker hygiene is itself checked: unbalanced or mismatched region
+//! markers and waivers without reasons are error-level findings, and a
+//! file expected to declare hot regions (`require_regions`) errors if it
+//! declares none — so deleting the markers cannot silently disable the
+//! lint.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::report::{Report, Severity};
+
+/// Methods whose call allocates (or may allocate) on the happy path.
+const ALLOC_METHODS: &[&str] = &[
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "collect",
+    "clone",
+    "cloned",
+    "join",
+    "concat",
+    "repeat",
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// `Type::ctor` pairs that allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "Box", "String", "HashMap", "HashSet", "BTreeMap", "VecDeque",
+];
+const ALLOC_CTORS: &[&str] = &["new", "from", "with_capacity", "default"];
+
+/// Macros that panic unconditionally or on failed condition.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Methods that panic on `None`/`Err`.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Keywords that make a following `[` an array literal or type, not an
+/// index expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+    "async", "await", "yield",
+];
+
+/// Options for linting one file.
+#[derive(Clone, Debug, Default)]
+pub struct LintOptions {
+    /// The file must declare at least one `mse:hot` region (error if it
+    /// declares none — guards against markers being deleted).
+    pub require_regions: bool,
+    /// `unsafe` is permitted in this file (the counting-allocator
+    /// carve-out).
+    pub allow_unsafe: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MarkerKind {
+    Begin,
+    End,
+}
+
+struct Marker<'a> {
+    kind: MarkerKind,
+    name: &'a str,
+    line: u32,
+}
+
+/// Parse `mse:hot begin(name)` / `mse:hot end(name)` out of a comment.
+fn parse_hot_marker(text: &str) -> Option<(MarkerKind, &str)> {
+    let rest = text.split("mse:hot").nth(1)?.trim_start();
+    let (kind, rest) = if let Some(r) = rest.strip_prefix("begin") {
+        (MarkerKind::Begin, r)
+    } else if let Some(r) = rest.strip_prefix("end") {
+        (MarkerKind::End, r)
+    } else {
+        return None;
+    };
+    let rest = rest.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let name = inner.split(')').next()?.trim();
+    Some((kind, name))
+}
+
+/// Parse `mse:allow(rule): reason` out of a comment; the reason may be
+/// empty here — the engine reports that as its own finding.
+fn parse_waiver(text: &str) -> Option<(&str, &str)> {
+    let rest = text.split("mse:allow").nth(1)?.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let mut it = inner.splitn(2, ')');
+    let rule = it.next()?.trim();
+    let after = it.next().unwrap_or("");
+    let reason = after.strip_prefix(':').unwrap_or(after).trim();
+    Some((rule, reason))
+}
+
+/// Lint one source file. `path` is used only for finding targets.
+pub fn lint_source(path: &str, src: &str, opts: &LintOptions) -> Report {
+    let mut report = Report::new();
+    let toks = lex(src);
+
+    // Pass 1: collect region markers and waivers from comments.
+    let mut markers: Vec<Marker<'_>> = Vec::new();
+    let mut waivers: Vec<(String, u32)> = Vec::new(); // (rule, effective line)
+    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        if let Some((kind, name)) = parse_hot_marker(t.text) {
+            markers.push(Marker {
+                kind,
+                name,
+                line: t.line,
+            });
+        }
+        if let Some((rule, reason)) = parse_waiver(t.text) {
+            if reason.is_empty() {
+                report.error(
+                    "waiver-missing-reason",
+                    format!("{path}:{}", t.line),
+                    format!("mse:allow({rule}) must state why the site is safe"),
+                );
+            }
+            // A waiver covers its own line (trailing comment) and the
+            // next line (standalone comment above the site).
+            waivers.push((rule.to_string(), t.line));
+            waivers.push((rule.to_string(), t.line + 1));
+        }
+    }
+
+    // Pair begin/end markers into line ranges.
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut stack: Vec<&Marker<'_>> = Vec::new();
+    for m in &markers {
+        match m.kind {
+            MarkerKind::Begin => stack.push(m),
+            MarkerKind::End => match stack.pop() {
+                Some(open) if open.name == m.name => regions.push((open.line, m.line)),
+                Some(open) => {
+                    report.error(
+                        "hot-region-unbalanced",
+                        format!("{path}:{}", m.line),
+                        format!(
+                            "mse:hot end({}) closes begin({}) opened at line {}",
+                            m.name, open.name, open.line
+                        ),
+                    );
+                }
+                None => {
+                    report.error(
+                        "hot-region-unbalanced",
+                        format!("{path}:{}", m.line),
+                        format!("mse:hot end({}) has no open begin", m.name),
+                    );
+                }
+            },
+        }
+    }
+    for open in &stack {
+        report.error(
+            "hot-region-unbalanced",
+            format!("{path}:{}", open.line),
+            format!("mse:hot begin({}) is never closed", open.name),
+        );
+    }
+    if opts.require_regions && markers.is_empty() {
+        report.error(
+            "hot-region-missing",
+            path.to_string(),
+            "file is on the hot-path lint list but declares no mse:hot regions",
+        );
+    }
+
+    let in_region = |line: u32| regions.iter().any(|&(a, b)| line >= a && line <= b);
+    let waived = |rule: &str, line: u32| waivers.iter().any(|(r, l)| r == rule && *l == line);
+    let flag = |report: &mut Report, rule: &str, line: u32, msg: String| {
+        if !waived(rule, line) {
+            report.push(crate::report::Finding::new(
+                Severity::Error,
+                rule.to_string(),
+                format!("{path}:{line}"),
+                msg,
+            ));
+        }
+    };
+
+    // Pass 2: token rules. `code` excludes comments so indices are
+    // adjacent-code tokens.
+    let code: Vec<&Tok<'_>> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    // Innermost hot-region function, for the recursion rule:
+    // (name, brace depth at its body start).
+    let mut depth = 0i32;
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+
+    for (i, t) in code.iter().enumerate() {
+        let prev = i.checked_sub(1).and_then(|p| code.get(p)).copied();
+        let next = code.get(i + 1).copied();
+        let next2 = code.get(i + 2).copied();
+        let hot = in_region(t.line);
+
+        // Track brace depth and function scopes over the whole file so a
+        // region that starts mid-function still knows its enclosing fn.
+        match (t.kind, t.text) {
+            (TokKind::Punct, "{") => {
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((name, depth));
+                }
+            }
+            (TokKind::Punct, "}") => {
+                if let Some((_, d)) = fn_stack.last() {
+                    if *d == depth {
+                        fn_stack.pop();
+                    }
+                }
+                depth -= 1;
+            }
+            (TokKind::Ident, "fn") => {
+                if let Some(n) = next {
+                    if n.kind == TokKind::Ident {
+                        pending_fn = Some(n.text.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // `unsafe` is a whole-file rule.
+        if t.kind == TokKind::Ident && t.text == "unsafe" && !opts.allow_unsafe {
+            flag(
+                &mut report,
+                "unsafe",
+                t.line,
+                "unsafe code outside the allowlist".to_string(),
+            );
+        }
+
+        if !hot {
+            continue;
+        }
+
+        match t.kind {
+            TokKind::Ident => {
+                let is_macro = next.map(|n| n.text == "!").unwrap_or(false);
+                if is_macro && ALLOC_MACROS.contains(&t.text) {
+                    flag(
+                        &mut report,
+                        "alloc",
+                        t.line,
+                        format!("allocating macro `{}!` in hot region", t.text),
+                    );
+                }
+                if is_macro && PANIC_MACROS.contains(&t.text) {
+                    flag(
+                        &mut report,
+                        "panic",
+                        t.line,
+                        format!("panicking macro `{}!` in hot region", t.text),
+                    );
+                }
+                // Type::ctor allocation.
+                if ALLOC_TYPES.contains(&t.text) {
+                    if let (Some(sep), Some(ctor)) = (next, next2) {
+                        if sep.text == "::"
+                            && ctor.kind == TokKind::Ident
+                            && ALLOC_CTORS.contains(&ctor.text)
+                            && code.get(i + 3).map(|p| p.text == "(").unwrap_or(false)
+                        {
+                            flag(
+                                &mut report,
+                                "alloc",
+                                t.line,
+                                format!("allocating constructor `{}::{}`", t.text, ctor.text),
+                            );
+                        }
+                    }
+                }
+                // Method calls: `.name(`.
+                let is_method_call = prev.map(|p| p.text == ".").unwrap_or(false)
+                    && next.map(|n| n.text == "(").unwrap_or(false);
+                if is_method_call && ALLOC_METHODS.contains(&t.text) {
+                    flag(
+                        &mut report,
+                        "alloc",
+                        t.line,
+                        format!("allocating call `.{}()` in hot region", t.text),
+                    );
+                }
+                if is_method_call && PANIC_METHODS.contains(&t.text) {
+                    flag(
+                        &mut report,
+                        "panic",
+                        t.line,
+                        format!("panicking call `.{}()` in hot region", t.text),
+                    );
+                }
+                // Recursion: the innermost function calling itself.
+                if next.map(|n| n.text == "(").unwrap_or(false)
+                    && prev.map(|p| p.text != "fn").unwrap_or(true)
+                    && prev.map(|p| p.text != ".").unwrap_or(true)
+                {
+                    if let Some((name, _)) = fn_stack.last() {
+                        if name == t.text {
+                            flag(
+                                &mut report,
+                                "recursion",
+                                t.line,
+                                format!(
+                                    "`{}` calls itself in a hot region (unbounded \
+                                     stack on adversarial input)",
+                                    t.text
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            TokKind::Punct if t.text == "[" => {
+                // Index expression iff the previous token can end a value:
+                // an identifier (non-keyword), `)`, or `]`.
+                let indexes = match prev {
+                    Some(p) => match p.kind {
+                        TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text),
+                        TokKind::Punct => p.text == ")" || p.text == "]",
+                        _ => false,
+                    },
+                    None => false,
+                };
+                if indexes {
+                    flag(
+                        &mut report,
+                        "index",
+                        t.line,
+                        "panicking `[...]` indexing in hot region (use .get or \
+                         waive with a bounds argument)"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Report {
+        lint_source(
+            "test.rs",
+            src,
+            &LintOptions {
+                require_regions: false,
+                allow_unsafe: false,
+            },
+        )
+    }
+
+    fn codes(r: &Report) -> Vec<&str> {
+        r.findings.iter().map(|f| f.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_outside_regions() {
+        let r = lint("fn f() { let v = Vec::new(); v[0]; x.unwrap(); }");
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn alloc_rules_fire_in_region() {
+        let src = "\
+// mse:hot begin(r)
+fn f(s: &str) {
+    let a = s.to_string();
+    let b = format!(\"{a}\");
+    let c: Vec<u8> = it.collect();
+    let d = Vec::new();
+    let e = Vec::with_capacity(8);
+}
+// mse:hot end(r)
+";
+        let r = lint(src);
+        assert_eq!(codes(&r).iter().filter(|c| **c == "alloc").count(), 5);
+    }
+
+    #[test]
+    fn panic_and_index_rules() {
+        let src = "\
+// mse:hot begin(r)
+fn f(v: &[u8], i: usize) -> u8 {
+    assert!(i < v.len());
+    let x = v[i];
+    o.unwrap();
+    x
+}
+// mse:hot end(r)
+";
+        let r = lint(src);
+        let c = codes(&r);
+        assert!(c.contains(&"panic"), "{c:?}");
+        assert!(c.contains(&"index"), "{c:?}");
+        assert_eq!(c.iter().filter(|x| **x == "panic").count(), 2);
+    }
+
+    #[test]
+    fn debug_assert_and_attributes_exempt() {
+        let src = "\
+// mse:hot begin(r)
+#[inline]
+fn f(v: &[u8]) {
+    debug_assert!(!v.is_empty());
+    let t: [u8; 4] = [0; 4];
+    for _x in [1, 2] {}
+}
+// mse:hot end(r)
+";
+        let r = lint(src);
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn waivers_suppress_with_reason() {
+        let src = "\
+// mse:hot begin(r)
+fn f(v: &[u8], i: usize) -> u8 {
+    // mse:allow(index): i bounds-checked by caller
+    v[i]
+}
+// mse:hot end(r)
+";
+        assert!(lint(src).is_clean());
+        let trailing = "\
+// mse:hot begin(r)
+fn f(v: &[u8], i: usize) -> u8 {
+    v[i] // mse:allow(index): i bounds-checked by caller
+}
+// mse:hot end(r)
+";
+        assert!(lint(trailing).is_clean());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_error() {
+        let src = "\
+// mse:hot begin(r)
+fn f(v: &[u8], i: usize) -> u8 {
+    // mse:allow(index)
+    v[i]
+}
+// mse:hot end(r)
+";
+        let r = lint(src);
+        assert!(codes(&r).contains(&"waiver-missing-reason"));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let src = "\
+// mse:hot begin(r)
+fn walk(n: usize) -> usize {
+    if n == 0 { 0 } else { walk(n - 1) }
+}
+fn iterative(n: usize) -> usize { helper(n) }
+// mse:hot end(r)
+";
+        let r = lint(src);
+        assert_eq!(codes(&r), vec!["recursion"]);
+    }
+
+    #[test]
+    fn unsafe_is_whole_file() {
+        let r = lint("fn f() { unsafe { core::hint::unreachable_unchecked() } }");
+        assert!(codes(&r).contains(&"unsafe"));
+        let allowed = lint_source(
+            "alloc.rs",
+            "fn f() { unsafe {} }",
+            &LintOptions {
+                require_regions: false,
+                allow_unsafe: true,
+            },
+        );
+        assert!(allowed.is_clean());
+    }
+
+    #[test]
+    fn unbalanced_markers_and_missing_regions() {
+        let r = lint("// mse:hot begin(a)\nfn f() {}\n");
+        assert!(codes(&r).contains(&"hot-region-unbalanced"));
+        let r = lint("// mse:hot end(a)\n");
+        assert!(codes(&r).contains(&"hot-region-unbalanced"));
+        let r = lint_source(
+            "must.rs",
+            "fn f() {}",
+            &LintOptions {
+                require_regions: true,
+                allow_unsafe: false,
+            },
+        );
+        assert!(codes(&r).contains(&"hot-region-missing"));
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = "\
+// mse:hot begin(r)
+fn f() -> &'static str {
+    // a comment mentioning v[i].unwrap() and format!
+    \"text with .clone() inside\"
+}
+// mse:hot end(r)
+";
+        assert!(lint(src).is_clean());
+    }
+}

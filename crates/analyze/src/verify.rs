@@ -1,0 +1,660 @@
+//! Static verification of learned wrapper sets.
+//!
+//! A learned [`SectionWrapperSet`] is a small extraction program: tag
+//! paths locate section containers, separator start-chains segment the
+//! records, marker texts pin the boundaries, and family wrappers
+//! generalize over structure variants. This module checks that program
+//! *before* it is served — the same stance RoadRunner takes toward
+//! wrapper consistency and DEPTA toward mined-record validation — so a
+//! corrupted, hand-edited, or version-skewed wrapper file is rejected at
+//! load time instead of silently extracting garbage at scale.
+//!
+//! Severity policy (see [`Severity`](crate::report::Severity)): a finding
+//! is an **error** only when the defect provably breaks serving — a
+//! wrapper that cannot match anything, matches ambiguously, or violates a
+//! build-time invariant (Formulas 3–7 thresholds, self-validation
+//! counts). Constructs that are merely wasteful (a dead separator among
+//! live ones, a duplicate record shape) are warnings. Sets produced by
+//! [`build_wrappers`](mse_core::pipeline) are expected to verify with
+//! zero findings of any severity; the corpus test in `tests/` holds that
+//! line against the full testbed.
+
+use crate::report::{target_config, target_family, target_set, target_wrapper, Report};
+use mse_core::compiled::{CompiledWrapperSet, CHAIN_DEPTH};
+use mse_core::error::BuildError;
+use mse_core::family::FamilyWrapper;
+use mse_core::pipeline::SectionWrapperSet;
+use mse_core::wrapper::SectionWrapper;
+use mse_dom::intern::{self, Symbol};
+use mse_dom::MergedStep;
+
+/// Verify a wrapper set in its portable (string) form. This is the check
+/// `mse lint` runs on wrapper JSON files; it needs no interner state
+/// beyond the seed vocabulary.
+pub fn verify(set: &SectionWrapperSet) -> Report {
+    let mut report = Report::new();
+    check_config(set, &mut report);
+    for (i, w) in set.wrappers.iter().enumerate() {
+        check_wrapper(i, w, &mut report);
+    }
+    check_wrapper_pairs(set, &mut report);
+    for (i, f) in set.families.iter().enumerate() {
+        check_family(i, f, set.wrappers.len(), &mut report);
+    }
+    for &a in &set.absorbed {
+        if a >= set.wrappers.len() {
+            report.error(
+                "absorbed-range",
+                target_set(),
+                format!(
+                    "absorbed index {a} out of range for {} wrappers",
+                    set.wrappers.len()
+                ),
+            );
+        }
+    }
+    report.sort();
+    report
+}
+
+/// Verify the compiled (symbol-lowered) form against the live interner,
+/// on top of everything [`verify`] checks: every [`Symbol`] must resolve,
+/// and compilation must not have emptied any wrapper's separator set.
+pub fn verify_compiled(compiled: &CompiledWrapperSet<'_>) -> Report {
+    let mut report = verify(compiled.set);
+    for (i, cw) in compiled.wrappers.iter().enumerate() {
+        let target = target_wrapper(i);
+        for step in &cw.pref {
+            check_symbol(step.tag, &target, "container path step", &mut report);
+        }
+        for sig in &cw.seps {
+            for &sym in sig.iter().filter(|s| !s.is_none()) {
+                check_symbol(sym, &target, "separator chain label", &mut report);
+            }
+        }
+        if cw.seps.is_empty()
+            && !compiled
+                .set
+                .wrappers
+                .get(i)
+                .is_none_or(|w| w.seps.is_empty())
+        {
+            report.error(
+                "sep-uncompilable",
+                target,
+                "every separator was dropped at compile time (deeper than the \
+                 chain depth); the compiled wrapper can never segment records",
+            );
+        }
+    }
+    for (i, cf) in compiled.families.iter().enumerate() {
+        let target = target_family(i);
+        for step in cf.pref.iter().flatten() {
+            check_symbol(step.tag, &target, "family path step", &mut report);
+        }
+        for &sym in cf.prefix.iter().chain(&cf.suffix) {
+            check_symbol(sym, &target, "family prefix/suffix tag", &mut report);
+        }
+        for sig in &cf.seps {
+            for &sym in sig.iter().filter(|s| !s.is_none()) {
+                check_symbol(sym, &target, "family separator chain label", &mut report);
+            }
+        }
+        if cf.seps.is_empty()
+            && !compiled
+                .set
+                .families
+                .get(i)
+                .is_none_or(|f| f.seps.is_empty())
+        {
+            report.error(
+                "sep-uncompilable",
+                target,
+                "every family separator was dropped at compile time",
+            );
+        }
+    }
+    report.sort();
+    report
+}
+
+/// The opt-in pre-serve gate: verify the set (portable + compiled form)
+/// and, when [`MseConfig::strict_verify`] is set and error-level findings
+/// exist, refuse it with [`BuildError::Verification`]. With the flag off
+/// the report is returned for logging but never blocks.
+///
+/// [`MseConfig::strict_verify`]: mse_core::config::MseConfig::strict_verify
+pub fn preserve_gate(set: &SectionWrapperSet) -> Result<Report, BuildError> {
+    let compiled = set.compile();
+    let report = verify_compiled(&compiled);
+    if set.cfg.strict_verify && report.has_errors() {
+        return Err(BuildError::Verification {
+            errors: report.errors,
+            summary: report.error_summary(),
+        });
+    }
+    Ok(report)
+}
+
+fn check_symbol(sym: Symbol, target: &str, what: &str, report: &mut Report) {
+    if intern::resolve(sym).is_none() {
+        report.error(
+            "symbol-dangling",
+            target,
+            format!("{what} symbol #{} does not resolve in the interner", sym.0),
+        );
+    }
+}
+
+/// Formula 3–7 threshold invariants. `MseConfig::validate` covers the
+/// weight simplexes (Formulas 3–4), W and the repeat floor; the extra
+/// checks here pin the thresholds `validate` predates. All of them hold
+/// for `MseConfig::default()`.
+fn check_config(set: &SectionWrapperSet, report: &mut Report) {
+    if let Err(msg) = set.cfg.validate() {
+        report.error("cfg-invalid", target_config(), msg);
+    }
+    let c = &set.cfg;
+    let unit = [
+        ("mre_sim_threshold", c.mre_sim_threshold),
+        ("csbm_vote_frac", c.csbm_vote_frac),
+        ("section_match_threshold", c.section_match_threshold),
+    ];
+    for (name, v) in unit {
+        if !(v > 0.0 && v <= 1.0) {
+            report.error(
+                "cfg-threshold",
+                target_config(),
+                format!("{name} must be in (0, 1], got {v}"),
+            );
+        }
+    }
+    if c.min_dinr <= 0.0 {
+        report.error(
+            "cfg-threshold",
+            target_config(),
+            format!(
+                "min_dinr must be positive (it floors the W×Dinr test), got {}",
+                c.min_dinr
+            ),
+        );
+    }
+}
+
+fn check_steps(steps: &[MergedStep], target: &str, report: &mut Report) {
+    for (d, s) in steps.iter().enumerate() {
+        if s.tag.is_empty() {
+            report.error(
+                "pref-empty-tag",
+                target.to_string(),
+                format!("path step {d} has an empty tag"),
+            );
+        }
+        if s.min_s > s.max_s {
+            report.error(
+                "pref-inverted-range",
+                target.to_string(),
+                format!(
+                    "path step {d} ({}) has inverted sibling range [{}, {}]",
+                    s.tag, s.min_s, s.max_s
+                ),
+            );
+        }
+    }
+}
+
+/// A separator chain that can never equal any page start-chain: an empty
+/// segment (page labels are non-empty) or more than [`CHAIN_DEPTH`]
+/// segments (page chains are truncated at that depth).
+fn sep_is_dead(sep: &str) -> bool {
+    let mut n = 0usize;
+    for seg in sep.split('>') {
+        n += 1;
+        if seg.is_empty() || n > CHAIN_DEPTH {
+            return true;
+        }
+    }
+    n == 0
+}
+
+fn check_seps(seps: &[String], target: &str, code_empty: &str, report: &mut Report) {
+    if seps.is_empty() {
+        report.error(
+            code_empty,
+            target.to_string(),
+            "no separator start-chains: records can never be segmented",
+        );
+        return;
+    }
+    let dead: Vec<&String> = seps.iter().filter(|s| sep_is_dead(s)).collect();
+    if dead.len() == seps.len() {
+        report.error(
+            "sep-all-dead",
+            target.to_string(),
+            format!(
+                "all {} separators are unmatchable (empty segment or deeper \
+                 than {CHAIN_DEPTH} labels), e.g. {:?}",
+                seps.len(),
+                dead[0]
+            ),
+        );
+    } else {
+        for s in dead {
+            report.warning(
+                "sep-dead",
+                target.to_string(),
+                format!(
+                    "separator {s:?} can never match a page start-chain \
+                     (empty segment or deeper than {CHAIN_DEPTH} labels)"
+                ),
+            );
+        }
+    }
+    let mut sorted: Vec<&String> = seps.iter().collect();
+    sorted.sort();
+    for pair in sorted.windows(2) {
+        if pair[0] == pair[1] {
+            report.warning(
+                "sep-duplicate",
+                target.to_string(),
+                format!("separator {:?} listed more than once", pair[0]),
+            );
+        }
+    }
+}
+
+fn check_record_shapes(seqs: &[Vec<u8>], target: &str, report: &mut Report) {
+    for (k, seq) in seqs.iter().enumerate() {
+        if seq.is_empty() {
+            report.warning(
+                "record-shape-empty",
+                target.to_string(),
+                format!(
+                    "record shape {k} is empty — no record has zero lines, so \
+                     this branch is unreachable"
+                ),
+            );
+        }
+    }
+    let mut sorted: Vec<&Vec<u8>> = seqs.iter().collect();
+    sorted.sort();
+    for pair in sorted.windows(2) {
+        if pair[0] == pair[1] {
+            report.warning(
+                "record-shape-duplicate",
+                target.to_string(),
+                format!("record shape {:?} listed more than once", pair[0]),
+            );
+        }
+    }
+}
+
+fn check_wrapper(i: usize, w: &SectionWrapper, report: &mut Report) {
+    let target = target_wrapper(i);
+    if w.pref.steps.is_empty() {
+        report.error(
+            "pref-empty",
+            target.clone(),
+            "container path has no steps — it would resolve to the DOM root",
+        );
+    }
+    check_steps(&w.pref.steps, &target, report);
+    if let Some(last) = w.pref.steps.last() {
+        if matches!(last.tag.as_str(), "html" | "head") {
+            report.warning(
+                "pref-scaffolding",
+                target.clone(),
+                format!(
+                    "container path ends at page scaffolding <{}>; the build \
+                     normally drills below it",
+                    last.tag
+                ),
+            );
+        }
+    }
+    check_seps(&w.seps, &target, "sep-empty-set", report);
+    check_record_shapes(&w.record_type_seqs, &target, report);
+    if w.n_instances < 2 {
+        report.error(
+            "records-uncertified",
+            target.clone(),
+            format!(
+                "built from {} section instance(s); self-validation requires \
+                 at least 2 sample pages to agree",
+                w.n_instances
+            ),
+        );
+    }
+    if w.min_records_seen == 0 {
+        report.error(
+            "records-empty-seen",
+            target.clone(),
+            "min_records_seen is 0 — a certified section instance always has \
+             at least one record",
+        );
+    }
+    if w.min_records_seen > w.max_records_seen {
+        report.error(
+            "records-inverted-bounds",
+            target,
+            format!(
+                "min_records_seen {} exceeds max_records_seen {}",
+                w.min_records_seen, w.max_records_seen
+            ),
+        );
+    }
+}
+
+/// Exact (slack-free) overlap of two wrappers' container paths: same
+/// length, same tag at every level, intersecting sibling ranges at every
+/// level — some concrete DOM node could satisfy both.
+fn prefs_overlap(a: &SectionWrapper, b: &SectionWrapper) -> bool {
+    a.pref.steps.len() == b.pref.steps.len()
+        && !a.pref.steps.is_empty()
+        && a.pref
+            .steps
+            .iter()
+            .zip(&b.pref.steps)
+            .all(|(x, y)| x.tag == y.tag && x.min_s <= y.max_s && y.min_s <= x.max_s)
+}
+
+fn sorted_dedup(items: &[String]) -> Vec<&String> {
+    let mut s: Vec<&String> = items.iter().collect();
+    s.sort();
+    s.dedup();
+    s
+}
+
+/// Ambiguity between wrappers: two wrappers whose container paths can
+/// resolve to the same node *and* whose separator sets *and* boundary
+/// marker texts all coincide are indistinguishable at serve time — the
+/// same section would match both schema ids (the build merges such
+/// duplicates, so a surviving pair is corruption).
+///
+/// Overlapping paths with merely intersecting separator sets are NOT
+/// flagged: real learned sets contain them routinely (two section schemas
+/// in the same container, told apart by marker texts and record shapes),
+/// and the serving path disambiguates via interval scheduling and the
+/// section-match score.
+fn check_wrapper_pairs(set: &SectionWrapperSet, report: &mut Report) {
+    let n = set.wrappers.len();
+    for i in 0..n {
+        for j in i + 1..n {
+            let (a, b) = (&set.wrappers[i], &set.wrappers[j]);
+            if !prefs_overlap(a, b) {
+                continue;
+            }
+            if sorted_dedup(&a.seps) == sorted_dedup(&b.seps)
+                && sorted_dedup(&a.lbms) == sorted_dedup(&b.lbms)
+                && sorted_dedup(&a.rbms) == sorted_dedup(&b.rbms)
+            {
+                report.error(
+                    "wrapper-ambiguous",
+                    target_set(),
+                    format!(
+                        "wrapper[{i}] and wrapper[{j}] have overlapping \
+                         container paths, identical separators and identical \
+                         boundary markers — the same section would match both"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_family(i: usize, f: &FamilyWrapper, n_wrappers: usize, report: &mut Report) {
+    let target = target_family(i);
+    match &f.pref {
+        Some(p) => {
+            // Type 1: a widened merged path.
+            if p.steps.is_empty() {
+                report.error(
+                    "family-pref-empty",
+                    target.clone(),
+                    "Type-1 family path has no steps",
+                );
+            }
+            check_steps(&p.steps, &target, report);
+        }
+        None => {
+            // Type 2: prefix/suffix tag sequences bound the match.
+            if f.prefix_tags.is_empty() && f.suffix_tags.is_empty() {
+                report.error(
+                    "family-unbounded",
+                    target.clone(),
+                    "Type-2 family with empty prefix and suffix admits every \
+                     tag path (unbounded match)",
+                );
+            }
+            for t in f.prefix_tags.iter().chain(&f.suffix_tags) {
+                if t.is_empty() {
+                    report.error(
+                        "family-empty-tag",
+                        target.clone(),
+                        "Type-2 prefix/suffix contains an empty tag",
+                    );
+                }
+            }
+        }
+    }
+    check_seps(&f.seps, &target, "family-sep-empty", report);
+    if f.lbm_attrs.is_empty() {
+        report.error(
+            "family-no-markers",
+            target.clone(),
+            "family has no shared boundary-marker attributes; the family \
+             condition (marker attrs distinct from record attrs) cannot hold",
+        );
+    }
+    if f.record_type_seqs.is_empty() {
+        report.error(
+            "family-no-shapes",
+            target.clone(),
+            "family has no record shapes — no candidate record can ever match",
+        );
+    } else {
+        check_record_shapes(&f.record_type_seqs, &target, report);
+    }
+    // NOTE: single-member families are legitimate — `build_families` emits
+    // single-member *generalization* families (which do not absorb their
+    // member) in addition to multi-member merge families. Only a family
+    // with no members at all is structurally invalid.
+    if f.members.is_empty() {
+        report.error(
+            "family-no-members",
+            target.clone(),
+            "family references no member wrappers; it cannot have been \
+             learned from any instance",
+        );
+    }
+    for &m in &f.members {
+        if m >= n_wrappers {
+            report.error(
+                "family-member-range",
+                target.clone(),
+                format!("member index {m} out of range for {n_wrappers} wrappers"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mse_core::config::MseConfig;
+    use mse_dom::MergedTagPath;
+
+    fn step(tag: &str, min_s: usize, max_s: usize) -> MergedStep {
+        MergedStep {
+            tag: tag.to_string(),
+            min_s,
+            max_s,
+        }
+    }
+
+    fn sane_wrapper() -> SectionWrapper {
+        SectionWrapper {
+            pref: MergedTagPath {
+                steps: vec![step("body", 0, 0), step("div", 1, 1), step("ul", 0, 0)],
+            },
+            seps: vec!["li>a>#text".to_string()],
+            lbms: vec!["Results".to_string()],
+            rbms: vec![],
+            lbm_attrs: vec![],
+            rbm_attrs: vec![],
+            record_attrs: vec![],
+            min_records_seen: 3,
+            max_records_seen: 10,
+            n_instances: 4,
+            record_type_seqs: vec![vec![1, 2]],
+        }
+    }
+
+    fn sane_set() -> SectionWrapperSet {
+        SectionWrapperSet {
+            cfg: MseConfig::default(),
+            wrappers: vec![sane_wrapper()],
+            absorbed: vec![],
+            families: vec![],
+        }
+    }
+
+    #[test]
+    fn sane_set_is_clean() {
+        let r = verify(&sane_set());
+        assert!(r.is_clean(), "{:?}", r.findings);
+        let set = sane_set();
+        let r = verify_compiled(&set.compile());
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn flags_empty_and_dead_separators() {
+        let mut set = sane_set();
+        set.wrappers[0].seps.clear();
+        let r = verify(&set);
+        assert!(r.findings.iter().any(|f| f.code == "sep-empty-set"));
+        assert!(r.has_errors());
+
+        let mut set = sane_set();
+        set.wrappers[0].seps = vec!["a>b>c>d".to_string()];
+        let r = verify(&set);
+        assert!(r.findings.iter().any(|f| f.code == "sep-all-dead"));
+
+        let mut set = sane_set();
+        set.wrappers[0].seps.push("tr>>a".to_string());
+        let r = verify(&set);
+        assert!(r.findings.iter().any(|f| f.code == "sep-dead"));
+        assert!(!r.has_errors(), "one live separator remains");
+    }
+
+    #[test]
+    fn flags_bad_paths_and_bounds() {
+        let mut set = sane_set();
+        set.wrappers[0].pref.steps.clear();
+        assert!(verify(&set).findings.iter().any(|f| f.code == "pref-empty"));
+
+        let mut set = sane_set();
+        set.wrappers[0].pref.steps[1].min_s = 9;
+        assert!(verify(&set)
+            .findings
+            .iter()
+            .any(|f| f.code == "pref-inverted-range"));
+
+        let mut set = sane_set();
+        set.wrappers[0].min_records_seen = 0;
+        assert!(verify(&set)
+            .findings
+            .iter()
+            .any(|f| f.code == "records-empty-seen"));
+
+        let mut set = sane_set();
+        set.wrappers[0].n_instances = 1;
+        assert!(verify(&set)
+            .findings
+            .iter()
+            .any(|f| f.code == "records-uncertified"));
+    }
+
+    #[test]
+    fn flags_config_violations() {
+        let mut set = sane_set();
+        set.cfg.u = (1.0, 1.0, 1.0);
+        assert!(verify(&set)
+            .findings
+            .iter()
+            .any(|f| f.code == "cfg-invalid"));
+
+        let mut set = sane_set();
+        set.cfg.min_dinr = 0.0;
+        assert!(verify(&set)
+            .findings
+            .iter()
+            .any(|f| f.code == "cfg-threshold"));
+    }
+
+    #[test]
+    fn flags_duplicate_wrapper_as_ambiguous() {
+        let mut set = sane_set();
+        set.wrappers.push(sane_wrapper());
+        let r = verify(&set);
+        assert!(r.findings.iter().any(|f| f.code == "wrapper-ambiguous"));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn disjoint_paths_not_ambiguous() {
+        let mut set = sane_set();
+        let mut other = sane_wrapper();
+        other.pref.steps[1] = step("div", 4, 5); // sibling ranges disjoint
+        set.wrappers.push(other);
+        assert!(verify(&set).is_clean());
+    }
+
+    #[test]
+    fn flags_unbounded_family() {
+        let mut set = sane_set();
+        set.wrappers.push(sane_wrapper());
+        set.absorbed = vec![0, 1];
+        set.families.push(FamilyWrapper {
+            pref: None,
+            prefix_tags: vec![],
+            suffix_tags: vec![],
+            seps: vec!["li>a>#text".to_string()],
+            lbm_attrs: vec![],
+            record_attrs: vec![],
+            record_type_seqs: vec![],
+            members: vec![0, 1],
+        });
+        let r = verify(&set);
+        for code in ["family-unbounded", "family-no-markers", "family-no-shapes"] {
+            assert!(
+                r.findings.iter().any(|f| f.code == code),
+                "missing {code}: {:?}",
+                r.findings
+            );
+        }
+    }
+
+    #[test]
+    fn gate_honors_strict_flag() {
+        let mut set = sane_set();
+        set.wrappers[0].seps.clear();
+        // Flag off: report returned, never blocks.
+        let r = preserve_gate(&set);
+        assert!(matches!(r, Ok(ref rep) if rep.has_errors()));
+        // Flag on: error-level findings refuse the set.
+        set.cfg.strict_verify = true;
+        match preserve_gate(&set) {
+            Err(BuildError::Verification { errors, summary }) => {
+                assert!(errors >= 1);
+                assert!(summary.contains("sep-empty-set"));
+            }
+            other => panic!("expected Verification error, got {other:?}"),
+        }
+        // Flag on, clean set: passes.
+        let mut clean = sane_set();
+        clean.cfg.strict_verify = true;
+        assert!(matches!(preserve_gate(&clean), Ok(ref rep) if rep.is_clean()));
+    }
+}

@@ -1,0 +1,170 @@
+//! Corpus-level acceptance for the wrapper verifier.
+//!
+//! Two properties, held against the full synthetic testbed:
+//!
+//! 1. **No false positives** — every wrapper set learned from a testbed
+//!    engine verifies with *zero* findings of any severity, in both the
+//!    portable and the compiled form.
+//! 2. **No false negatives on known corruptions** — each class of
+//!    corruption the verifier exists to catch (emptied separators,
+//!    inverted sibling ranges, out-of-range family members, broken
+//!    config, dangling symbols after compilation) yields at least one
+//!    error-level finding.
+
+use mse_analyze::{verify, verify_compiled, Severity};
+use mse_core::compiled::CompiledStep;
+use mse_core::pipeline::{Mse, SectionWrapperSet};
+use mse_core::MseConfig;
+use mse_dom::intern::Symbol;
+use mse_testbed::EngineSpec;
+
+fn learn(seed: u64, engine_id: usize) -> Option<SectionWrapperSet> {
+    let engine = EngineSpec::generate(seed, engine_id);
+    let samples: Vec<_> = (0..5).map(|q| engine.page(q)).collect();
+    let refs: Vec<(&str, Option<&str>)> = samples
+        .iter()
+        .map(|p| (p.html.as_str(), Some(p.query.as_str())))
+        .collect();
+    Mse::new(MseConfig::default())
+        .build_with_queries(&refs)
+        .ok()
+}
+
+#[test]
+fn learned_sets_lint_clean_across_the_testbed() {
+    let mut checked = 0usize;
+    for engine_id in 0..12 {
+        let Some(ws) = learn(2006, engine_id) else {
+            continue;
+        };
+        if ws.wrappers.is_empty() {
+            continue;
+        }
+        let report = verify(&ws);
+        assert!(
+            report.is_clean(),
+            "engine {engine_id}: learned set has findings: {:?}",
+            report.findings
+        );
+        let compiled = ws.compile();
+        let report = verify_compiled(&compiled);
+        assert!(
+            report.is_clean(),
+            "engine {engine_id}: compiled set has findings: {:?}",
+            report.findings
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 8,
+        "only {checked} engines produced wrappers; corpus check is vacuous"
+    );
+}
+
+/// Every corruption class must surface as at least one error-level
+/// finding carrying the expected code.
+#[test]
+fn corrupted_sets_are_flagged() {
+    let ws = learn(2006, 4).expect("engine 4 must build");
+    assert!(!ws.wrappers.is_empty());
+    assert!(verify(&ws).is_clean(), "baseline must be clean");
+
+    let expect_error = |ws: &SectionWrapperSet, code: &str| {
+        let report = verify(ws);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.severity == Severity::Error && f.code == code),
+            "expected error {code}, got {:?}",
+            report.findings
+        );
+    };
+
+    // Separator set emptied (hand-edited wrapper file).
+    let mut bad = ws.clone();
+    for w in &mut bad.wrappers {
+        w.seps.clear();
+    }
+    expect_error(&bad, "sep-empty-set");
+
+    // Inverted sibling range on the container path.
+    let mut bad = ws.clone();
+    if let Some(step) = bad.wrappers[0].pref.steps.first_mut() {
+        step.min_s = 9;
+        step.max_s = 1;
+    }
+    expect_error(&bad, "pref-inverted-range");
+
+    // Container path deleted outright.
+    let mut bad = ws.clone();
+    bad.wrappers[0].pref.steps.clear();
+    expect_error(&bad, "pref-empty");
+
+    // Self-validation count forged below the certification floor.
+    let mut bad = ws.clone();
+    bad.wrappers[0].n_instances = 1;
+    expect_error(&bad, "records-uncertified");
+
+    // Absorbed index pointing past the wrapper list (version skew).
+    let mut bad = ws.clone();
+    bad.absorbed.push(bad.wrappers.len() + 3);
+    expect_error(&bad, "absorbed-range");
+
+    // Family member index out of range.
+    if !ws.families.is_empty() {
+        let mut bad = ws.clone();
+        bad.families[0].members = vec![bad.wrappers.len() + 7];
+        expect_error(&bad, "family-member-range");
+    }
+
+    // Config corrupted (weight simplex broken).
+    let mut bad = ws.clone();
+    bad.cfg.w_threshold = -1.0;
+    expect_error(&bad, "cfg-invalid");
+
+    // Duplicated wrapper → ambiguous serving.
+    let mut bad = ws.clone();
+    let dup = bad.wrappers[0].clone();
+    bad.wrappers.push(dup);
+    expect_error(&bad, "wrapper-ambiguous");
+}
+
+/// The compiled-form check catches symbols that do not resolve in the
+/// live interner — the version-skew failure a serialized symbol table
+/// would hit.
+#[test]
+fn dangling_symbols_are_flagged_in_compiled_form() {
+    let ws = learn(2006, 4).expect("engine 4 must build");
+    let mut compiled = ws.compile();
+    assert!(
+        verify_compiled(&compiled).is_clean(),
+        "compiled baseline must be clean"
+    );
+
+    let victim = compiled
+        .wrappers
+        .first_mut()
+        .expect("engine 4 compiles at least one wrapper");
+    if let Some(step) = victim.pref.first_mut() {
+        *step = CompiledStep {
+            tag: Symbol(9_999_999),
+            ..*step
+        };
+    } else {
+        victim.pref.push(CompiledStep {
+            tag: Symbol(9_999_999),
+            min_s: 0,
+            max_s: 0,
+        });
+    }
+    let report = verify_compiled(&compiled);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Error && f.code == "symbol-dangling"),
+        "dangling symbol not flagged: {:?}",
+        report.findings
+    );
+}

@@ -17,6 +17,15 @@
 //!   each observed record shape. Smooths per-line mistakes exactly the way
 //!   wrapper induction smooths per-page noise.
 
+// Panic-free and unsafe-free gates (see DESIGN.md §12): untrusted input
+// must never abort the process, and the counting allocator in `mse-bench`
+// is the workspace's only unsafe carve-out. Tests keep their unwraps.
+#![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod model;
 pub mod roles;
 

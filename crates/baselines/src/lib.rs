@@ -11,6 +11,15 @@
 //!   the single dominant section per page, modelling the paper's citation
 //!   \[29\] assumption that "there exists only one section to be extracted".
 
+// Panic-free and unsafe-free gates (see DESIGN.md §12): untrusted input
+// must never abort the process, and the counting allocator in `mse-bench`
+// is the workspace's only unsafe carve-out. Tests keep their unwraps.
+#![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod mdr;
 pub mod omini;
 pub mod single;

@@ -186,9 +186,8 @@ pub fn mdr_extract(html: &str, cfg: &MdrConfig) -> Extraction {
                 });
             }
         }
-        if !records.is_empty() {
-            let start = records.first().unwrap().start;
-            let end = records.last().unwrap().end;
+        if let (Some(first), Some(last)) = (records.first(), records.last()) {
+            let (start, end) = (first.start, last.end);
             sections.push(ExtractedSection {
                 schema: SchemaId::Wrapper(i),
                 start,

@@ -68,10 +68,9 @@ pub fn omini_extract(html: &str) -> Extraction {
         if !keep {
             continue;
         }
-        if page.dom[c].tag() == Some(sep.as_str()) || groups.is_empty() {
-            groups.push(vec![c]);
-        } else {
-            groups.last_mut().unwrap().push(c);
+        match groups.last_mut() {
+            Some(last) if page.dom[c].tag() != Some(sep.as_str()) => last.push(c),
+            _ => groups.push(vec![c]),
         }
     }
 
@@ -93,11 +92,13 @@ pub fn omini_extract(html: &str) -> Extraction {
             });
         }
     }
+    let (Some(first), Some(last)) = (records.first(), records.last()) else {
+        return Extraction::default();
+    };
     if records.len() < 2 {
         return Extraction::default();
     }
-    let start = records.first().unwrap().start;
-    let end = records.last().unwrap().end;
+    let (start, end) = (first.start, last.end);
     Extraction {
         sections: vec![ExtractedSection {
             schema: SchemaId::Wrapper(0),

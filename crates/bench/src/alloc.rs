@@ -1,0 +1,65 @@
+//! Process-wide counting allocator: the dynamic probe behind the
+//! "0 allocs/page" serving invariant.
+//!
+//! Shared by the `serve` benchmark and the `zero_alloc` integration test
+//! so both assert the same invariant with the same instrument. The struct
+//! is exported but **not** registered here — a `#[global_allocator]` in a
+//! library would hijack every binary linking the crate. Each probe binary
+//! registers its own:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: mse_bench::alloc::CountingAlloc = mse_bench::alloc::CountingAlloc;
+//! ```
+//!
+//! and reads deltas through [`counting`]. The counters are global and
+//! relaxed, so a measurement is only meaningful while no *other* thread
+//! allocates — single-threaded probes, or probes that own all threads.
+//!
+//! This file is the workspace's single `unsafe` carve-out (implementing
+//! [`GlobalAlloc`] requires it); it is allowlisted by name in `srclint`
+//! and carries the only `#[allow(unsafe_code)]` in the tree.
+
+// GlobalAlloc cannot be implemented without unsafe; the implementation
+// only forwards to `System` and bumps relaxed counters.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator with relaxed atomic counters — cheap enough to leave
+/// on for timed passes (the compiled serving path barely touches it,
+/// which is the point).
+pub struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Allocation count + bytes during `f`. Deltas of global counters: only
+/// meaningful when no other thread allocates concurrently.
+pub fn counting<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = BYTES.load(Ordering::Relaxed);
+    let r = f();
+    (
+        r,
+        ALLOCS.load(Ordering::Relaxed) - a0,
+        BYTES.load(Ordering::Relaxed) - b0,
+    )
+}

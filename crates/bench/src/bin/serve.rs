@@ -32,54 +32,17 @@
 //! [`extract_page_legacy_cached`]: mse_core::SectionWrapperSet::extract_page_legacy_cached
 //! [`extract_page_scratch`]: mse_core::CompiledWrapperSet::extract_page_scratch
 
+use mse_bench::alloc::{counting, CountingAlloc};
 use mse_core::wrapper::apply_wrapper;
 use mse_core::{
     DistanceCache, ExtractScratch, Extraction, Mse, MseConfig, Page, SectionWrapperSet,
 };
 use mse_testbed::EngineSpec;
 use serde::Serialize;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-
-/// System allocator with relaxed atomic counters — cheap enough to leave
-/// on for the timed passes (the compiled path barely touches it, which is
-/// the point).
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-static BYTES: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-/// Allocation count + bytes during `f`.
-fn counting<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
-    let a0 = ALLOCS.load(Ordering::Relaxed);
-    let b0 = BYTES.load(Ordering::Relaxed);
-    let r = f();
-    (
-        r,
-        ALLOCS.load(Ordering::Relaxed) - a0,
-        BYTES.load(Ordering::Relaxed) - b0,
-    )
-}
 
 #[derive(Serialize)]
 struct SingleThread {

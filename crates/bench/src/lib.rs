@@ -15,3 +15,15 @@
 //! | `--bin serve` | `BENCH_serve.json` (compiled serving path vs legacy) |
 //! | `bench timing` | §6's construction/extraction timing claim |
 //! | `bench micro` | substrate micro-benchmarks |
+//!
+//! The library itself carries one shared instrument: [`alloc`], the
+//! counting allocator the `serve` bench and the root `zero_alloc`
+//! integration test both register to measure allocations per page.
+
+#![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod alloc;

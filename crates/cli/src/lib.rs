@@ -8,6 +8,7 @@
 //! mse extract --wrapper wrapper.json [--query q] [--annotate] page.html
 //! mse extract --wrapper wrapper.json [--threads N] [--json] page0.html page1.html ...
 //! mse eval    [--small] [--seed 2006] [--threads N]          run the Table-1 evaluation
+//! mse lint    [--deny-warnings] WRAPPER.json...              statically verify wrapper sets
 //! ```
 //!
 //! Passing several pages to `extract` switches to batch mode: the pages
@@ -20,6 +21,7 @@
 
 // Panic-free policy: the library target must not unwrap/expect/panic on
 // any input — failures surface as `CliError` with a meaningful exit code.
+#![deny(unsafe_code)]
 #![cfg_attr(
     not(test),
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
@@ -113,6 +115,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("build") => cmd_build(&args[1..]),
         Some("extract") => cmd_extract(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => Ok(usage()),
         Some(other) => err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -126,7 +129,13 @@ pub fn usage() -> String {
      \x20 mse build   --out WRAPPER.json PAGE[:QUERY]...\n\
      \x20 mse extract --wrapper WRAPPER.json [--query Q] [--annotate] [--legacy] PAGE\n\
      \x20 mse extract --wrapper WRAPPER.json [--threads N] [--json] PAGE...\n\
-     \x20 mse eval    [--small] [--seed N] [--threads N]\n"
+     \x20 mse eval    [--small] [--seed N] [--threads N]\n\
+     \x20 mse lint    [--deny-warnings] WRAPPER.json...\n\
+     \n\
+     `lint` prints a JSON report of static-verification findings per\n\
+     wrapper file and exits 65 when any error-level finding exists\n\
+     (with --deny-warnings, when any finding exists at all).\n\
+     `extract --strict` refuses wrapper sets with error-level findings.\n"
         .to_string()
 }
 
@@ -142,7 +151,10 @@ fn parse_opts(args: &[String]) -> Result<ParsedArgs, CliError> {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // boolean flags
-            if matches!(name, "small" | "annotate" | "json" | "legacy") {
+            if matches!(
+                name,
+                "small" | "annotate" | "json" | "legacy" | "strict" | "deny-warnings"
+            ) {
                 opts.push((name.to_string(), "true".to_string()));
                 i += 1;
                 continue;
@@ -268,6 +280,14 @@ fn cmd_extract(args: &[String]) -> Result<String, CliError> {
     if let Some(t) = opt(&opts, "threads") {
         ws.cfg.threads = t.parse().map_err(|_| CliError::usage("bad --threads"))?;
     }
+    // Pre-serve verification gate: honored when the wrapper set was built
+    // with `strict_verify` or the operator passes --strict here. A set
+    // with error-level findings is refused before any page is touched.
+    if opt(&opts, "strict").is_some() {
+        ws.cfg.strict_verify = true;
+    }
+    mse_analyze::preserve_gate(&ws)
+        .map_err(|e| CliError::data(format!("wrapper set refused: {e}")))?;
     if pos.len() > 1 {
         return cmd_extract_batch(&opts, &pos, &ws);
     }
@@ -385,6 +405,50 @@ fn cmd_eval(args: &[String]) -> Result<String, CliError> {
         &format!("Section extraction on {} engines", corpus.engines.len()),
         &[("S pgs", s), ("T pgs", t), ("Total", total)],
     ))
+}
+
+/// One `lint` result entry: the wrapper file plus its verification report.
+#[derive(serde::Serialize)]
+struct LintEntry {
+    file: String,
+    report: mse_analyze::Report,
+}
+
+/// `mse lint [--deny-warnings] WRAPPER.json...` — run the static wrapper
+/// verifier over each file and print one JSON report per file. Exit 0
+/// when every set is acceptable; exit 65 (EX_DATAERR) when any file has
+/// error-level findings (or, with `--deny-warnings`, any findings at
+/// all), with the same JSON report as the error message.
+fn cmd_lint(args: &[String]) -> Result<String, CliError> {
+    let (opts, pos) = parse_opts(args)?;
+    if pos.is_empty() {
+        return err("lint needs at least one WRAPPER.json argument");
+    }
+    let deny_warnings = opt(&opts, "deny-warnings").is_some();
+    let mut entries: Vec<LintEntry> = Vec::new();
+    let mut failed = false;
+    for path in &pos {
+        let ws: SectionWrapperSet = serde_json::from_str(
+            &fs::read_to_string(path)
+                .map_err(|e| CliError::no_input(format!("cannot read {path}: {e}")))?,
+        )
+        .map_err(|e| CliError::data(format!("bad wrapper file {path}: {e}")))?;
+        let compiled = ws.compile();
+        let report = mse_analyze::verify_compiled(&compiled);
+        failed |= report.has_errors() || (deny_warnings && !report.is_clean());
+        entries.push(LintEntry {
+            file: path.clone(),
+            report,
+        });
+    }
+    let mut json =
+        serde_json::to_string_pretty(&entries).map_err(|e| CliError::internal(e.to_string()))?;
+    json.push('\n');
+    if failed {
+        Err(CliError::data(json))
+    } else {
+        Ok(json)
+    }
 }
 
 #[cfg(test)]
@@ -511,6 +575,58 @@ mod tests {
             let single: mse_core::Extraction = serde_json::from_str(&single).unwrap();
             assert_eq!(&single, ex);
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lint_learned_wrapper_clean_and_corrupted_flagged() {
+        let dir = std::env::temp_dir().join(format!("mse-cli-lint-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_string();
+        run(&s(&[
+            "gen", "--seed", "2006", "--engine", "4", "--pages", "6", "--out", &dir_s,
+        ]))
+        .expect("gen");
+        let queries = mse_testbed::words::QUERIES;
+        let wpath = format!("{dir_s}/wrapper.json");
+        let mut args = s(&["build", "--out"]);
+        args.push(wpath.clone());
+        for (q, query) in queries.iter().enumerate().take(5) {
+            args.push(format!("{dir_s}/page{q}.html:{query}"));
+        }
+        run(&args).expect("build");
+        // A learned wrapper set lints clean, even with --deny-warnings.
+        let out = run(&s(&["lint", "--deny-warnings", &wpath])).expect("lint clean");
+        assert!(out.contains("\"errors\": 0"), "{out}");
+        // Corrupt it: strip every separator from every wrapper.
+        let mut ws: SectionWrapperSet =
+            serde_json::from_str(&fs::read_to_string(&wpath).unwrap()).unwrap();
+        for w in &mut ws.wrappers {
+            w.seps.clear();
+        }
+        let bad_path = format!("{dir_s}/bad.json");
+        fs::write(&bad_path, serde_json::to_string(&ws).unwrap()).unwrap();
+        let e = run(&s(&["lint", &bad_path])).unwrap_err();
+        assert_eq!(e.code, 65);
+        assert!(e.message.contains("sep-empty-set"), "{}", e.message);
+        // The strict gate refuses the corrupted set at extract time...
+        let e = run(&s(&[
+            "extract",
+            "--wrapper",
+            &bad_path,
+            "--strict",
+            &format!("{dir_s}/page5.html"),
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, 65);
+        assert!(e.message.contains("static verification"), "{}", e.message);
+        // ...but serves it (degraded) without --strict, by design.
+        run(&s(&[
+            "extract",
+            "--wrapper",
+            &bad_path,
+            &format!("{dir_s}/page5.html"),
+        ]))
+        .expect("non-strict extract still serves");
         let _ = fs::remove_dir_all(&dir);
     }
 

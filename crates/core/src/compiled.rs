@@ -219,6 +219,7 @@ impl ExtractScratch {
 /// walk identical to [`mse_dom::MergedTagPath::resolve_all`], but with
 /// symbol compares and scratch-owned frontiers. Results land in
 /// `scratch.frontier`.
+// mse:hot begin(resolve-path)
 fn resolve_all_compiled(
     dom: &Dom,
     sigs: &PageSigs,
@@ -233,6 +234,7 @@ fn resolve_all_compiled(
         for &node in &scratch.frontier {
             let mut seen = 0usize;
             for child in dom.children(node) {
+                // mse:allow(index): child comes from this DOM's own child list
                 if !dom[child].is_element() {
                     continue;
                 }
@@ -251,12 +253,14 @@ fn resolve_all_compiled(
         }
     }
 }
+// mse:hot end(resolve-path)
 
 /// Compiled [`partition_by_seps`](crate::wrapper::partition_by_seps):
 /// group the container's viewable children into records on separator
 /// chains, using the render-time chains and spans. Output (document-order
 /// record ranges, deduplicated, overlap-cleaned) is identical to the
 /// legacy function.
+// mse:hot begin(partition-records)
 fn partition_compiled(
     dom: &Dom,
     sigs: &PageSigs,
@@ -303,16 +307,21 @@ fn partition_compiled(
     out.dedup();
     let mut w = 0usize;
     for i in 0..out.len() {
+        // mse:allow(index): i ranges over out, w <= i is the write head
         if w == 0 || out[i].start >= out[w - 1].end {
+            // mse:allow(index): w <= i < out.len()
             out[w] = out[i];
             w += 1;
         }
     }
     out.truncate(w);
 }
+// mse:hot end(partition-records)
 
+// mse:hot begin(apply-wrapper)
 fn marker_matches(page: &Page, line: Option<usize>, expected: &[String]) -> bool {
     match line {
+        // mse:allow(index): callers pass a line index inside the rendered page
         Some(l) if !expected.is_empty() => expected.iter().any(|t| *t == page.cleaned[l]),
         _ => false,
     }
@@ -352,6 +361,7 @@ fn apply_wrapper_compiled(
     }
     let mut best: Option<(f64, NodeId, usize, usize)> = None;
     for ci in 0..scratch.candidates.len() {
+        // mse:allow(index): ci < candidates.len() by the loop bound
         let cand = scratch.candidates[ci];
         // Partition into scratch.cand_records, then trim boundary marker
         // "records" by narrowing [lo, hi) — same order as legacy: RBM side
@@ -368,7 +378,9 @@ fn apply_wrapper_compiled(
         let mut lo = 0usize;
         let mut hi = records.len();
         while hi > lo {
+            // mse:allow(index): hi > lo >= 0, so hi - 1 < records.len()
             let last = records[hi - 1];
+            // mse:allow(index): record spans index the rendered page lines
             if last.len() == 1 && w.rbms.contains(&page.cleaned[last.start]) {
                 hi -= 1;
             } else {
@@ -376,7 +388,9 @@ fn apply_wrapper_compiled(
             }
         }
         while lo < hi {
+            // mse:allow(index): lo < hi <= records.len()
             let first = records[lo];
+            // mse:allow(index): record spans index the rendered page lines
             if first.len() == 1 && w.lbms.contains(&page.cleaned[first.start]) {
                 lo += 1;
             } else {
@@ -386,6 +400,7 @@ fn apply_wrapper_compiled(
         if lo >= hi {
             continue;
         }
+        // mse:allow(index): lo < hi <= records.len() checked above
         let (start, end) = (records[lo].start, records[hi - 1].end);
         // Marker agreement score.
         let lbm_ok = marker_matches(page, start.checked_sub(1), &w.lbms);
@@ -399,6 +414,7 @@ fn apply_wrapper_compiled(
         }
         if best.as_ref().map(|(bs, ..)| score > *bs).unwrap_or(true) {
             rest.clear();
+            // mse:allow(index): lo < hi <= records.len() checked above
             rest.extend_from_slice(&records[lo..hi]);
             best = Some((score, cand, start, end));
         }
@@ -410,10 +426,12 @@ fn apply_wrapper_compiled(
     }
     Some((node, start, end))
 }
+// mse:hot end(apply-wrapper)
 
 /// Does this node's element-path tag sequence match the Type-2 family
 /// prefix/suffix pattern? Symbol-compare equivalent of the legacy
 /// `CompactTagPath::to_node` + `starts_with`/`ends_with` probe.
+// mse:hot begin(type2-path-probe)
 fn type2_path_matches(
     dom: &Dom,
     sigs: &PageSigs,
@@ -425,11 +443,13 @@ fn type2_path_matches(
     path_syms.clear();
     let mut cur = Some(n);
     while let Some(node) = cur {
+        // mse:allow(index): node walks this DOM's own parent chain
         if dom[node].is_element() {
             if let Some(&sym) = sigs.labels.get(node.index()) {
                 path_syms.push(sym);
             }
         }
+        // mse:allow(index): node walks this DOM's own parent chain
         cur = dom[node].parent;
     }
     path_syms.reverse(); // root-first, target-last — CompactTagPath order
@@ -438,6 +458,7 @@ fn type2_path_matches(
         && path_syms.starts_with(&fam.prefix)
         && path_syms.ends_with(&fam.suffix)
 }
+// mse:hot end(type2-path-probe)
 
 impl CompiledWrapperSet<'_> {
     /// Extraction over an already-rendered page with a fresh scratch.

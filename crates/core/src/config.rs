@@ -191,6 +191,16 @@ pub struct MseConfig {
     /// so configs saved before this field existed still deserialize.
     #[serde(default)]
     pub budget: ResourceBudget,
+    /// Opt-in pre-serve verification gate: when set, serving surfaces
+    /// (the CLI, `mse-analyze`'s gate) refuse to apply a wrapper set
+    /// whose static verification reports error-level findings
+    /// ([`BuildError::Verification`](crate::error::BuildError)). The
+    /// analyses themselves live in the `mse-analyze` crate; this flag
+    /// only records the operator's intent alongside the wrapper set.
+    /// `#[serde(default)]` keeps wrapper files from before this field
+    /// loading (gate off).
+    #[serde(default)]
+    pub strict_verify: bool,
 }
 
 impl Default for MseConfig {
@@ -218,6 +228,7 @@ impl Default for MseConfig {
             threads: 0,
             enable_distance_cache: true,
             budget: ResourceBudget::default(),
+            strict_verify: false,
         }
     }
 }

@@ -147,6 +147,14 @@ pub enum BuildError {
     Page { index: usize, source: ExtractError },
     /// The per-stage deadline expired.
     Deadline { stage: Stage },
+    /// Static verification (the `mse-analyze` wrapper verifier) reported
+    /// error-level findings and [`MseConfig::strict_verify`] is set. Core
+    /// never produces this itself — the analyses live in `mse-analyze`,
+    /// which constructs this variant so serving surfaces can refuse the
+    /// set through the ordinary error channel.
+    ///
+    /// [`MseConfig::strict_verify`]: crate::config::MseConfig::strict_verify
+    Verification { errors: usize, summary: String },
 }
 
 impl fmt::Display for BuildError {
@@ -162,6 +170,12 @@ impl fmt::Display for BuildError {
             }
             BuildError::Deadline { stage } => {
                 write!(f, "stage deadline expired during {stage}")
+            }
+            BuildError::Verification { errors, summary } => {
+                write!(
+                    f,
+                    "wrapper set failed static verification: {errors} error-level finding(s): {summary}"
+                )
             }
         }
     }
@@ -244,6 +258,19 @@ mod tests {
         let back: Diagnostic = serde_json::from_str(&json).unwrap();
         assert_eq!(d, back);
         assert_eq!(d.to_string(), "[render] line budget hit");
+    }
+
+    #[test]
+    fn verification_variant_display() {
+        let v = BuildError::Verification {
+            errors: 2,
+            summary: "sep-empty-set on wrapper 0; pref-empty on wrapper 1".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("static verification"));
+        assert!(s.contains("2 error-level"));
+        assert!(s.contains("sep-empty-set"));
+        assert!(v.source().is_none());
     }
 
     #[test]

@@ -50,6 +50,7 @@
 
 // Panic-free ingestion gate: untrusted HTML must never be able to abort
 // the process. Tests keep their unwraps (they run on trusted fixtures).
+#![deny(unsafe_code)]
 #![cfg_attr(
     not(test),
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)

@@ -73,6 +73,7 @@ where
                 scope.spawn(move || {
                     let mut state = init();
                     let mut got: Vec<(usize, R)> = Vec::new();
+                    // mse:hot begin(steal-claim-loop)
                     loop {
                         // Claim the next item; Relaxed suffices — the only
                         // shared mutation is the counter itself, and the
@@ -81,8 +82,10 @@ where
                         if i >= items.len() {
                             break;
                         }
+                        // mse:allow(index): i < items.len() checked above
                         got.push((i, f(&mut state, i, &items[i])));
                     }
+                    // mse:hot end(steal-claim-loop)
                     got
                 })
             })

@@ -161,9 +161,15 @@ fn interner() -> &'static Interner {
 /// at worst a fully-inserted entry).
 pub fn intern(name: &str) -> Symbol {
     let int = interner();
+    // mse:hot begin(intern-fast-path)
+    // Steady-state interning of a seeded vocabulary never leaves this
+    // read-lock probe; the write path below is cold (first sight of a
+    // name) and is deliberately *outside* the hot region — it allocates
+    // the leaked name by design.
     if let Some(&sym) = int.map.read().unwrap_or_else(|p| p.into_inner()).get(name) {
         return sym;
     }
+    // mse:hot end(intern-fast-path)
     let mut map = int.map.write().unwrap_or_else(|p| p.into_inner());
     // Double-check: another thread may have interned between the locks.
     if let Some(&sym) = map.get(name) {
@@ -189,6 +195,7 @@ pub fn lookup(name: &str) -> Option<Symbol> {
 
 /// The string a symbol was interned from (`None` for [`Symbol::NONE`] or a
 /// symbol from a different process).
+// mse:hot begin(resolve)
 pub fn resolve(sym: Symbol) -> Option<&'static str> {
     if sym.is_none() {
         return None;
@@ -200,6 +207,7 @@ pub fn resolve(sym: Symbol) -> Option<&'static str> {
         .get(sym.0 as usize)
         .copied()
 }
+// mse:hot end(resolve)
 
 /// Number of distinct names interned so far (seed vocabulary included).
 pub fn interned_count() -> usize {

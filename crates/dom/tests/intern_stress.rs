@@ -1,0 +1,86 @@
+//! Concurrency stress for the global tag interner.
+//!
+//! The serving path treats `Symbol` equality as string equality across
+//! every thread in the process, so the interner must hand out exactly one
+//! symbol per distinct name no matter how many threads race the
+//! read-probe → write-insert window. This test hammers that window:
+//! many threads interning an overlapping mix of fresh and seeded names
+//! simultaneously, with agreement and round-trip checked afterwards.
+
+use std::collections::HashMap;
+use std::sync::Barrier;
+
+use mse_dom::intern::{intern, interned_count, lookup, resolve, Symbol};
+
+#[test]
+fn concurrent_interning_is_injective_and_stable() {
+    const THREADS: usize = 16;
+    const ROUNDS: usize = 4;
+
+    // A vocabulary mixing seeded tags (read-lock fast path), names shared
+    // by every thread (maximal write contention on first sight), and a
+    // few per-thread-unique names (interleaved inserts).
+    let shared: Vec<String> = (0..128).map(|i| format!("stress-shared-{i}")).collect();
+    let seeded = ["table", "tr", "td", "div", "span", "a", "#text"];
+
+    for round in 0..ROUNDS {
+        let barrier = Barrier::new(THREADS);
+        let per_thread: Vec<Vec<(String, Symbol)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let shared = &shared;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        // Line every thread up so the first intern of each
+                        // fresh name is genuinely contended.
+                        barrier.wait();
+                        let mut out: Vec<(String, Symbol)> = Vec::new();
+                        for i in 0..shared.len() {
+                            // Vary the interleaving per thread.
+                            let name = &shared[(i + t * 7) % shared.len()];
+                            out.push((name.clone(), intern(name)));
+                        }
+                        for name in seeded {
+                            out.push((name.to_string(), intern(name)));
+                        }
+                        let unique = format!("stress-unique-{round}-{t}");
+                        out.push((unique.clone(), intern(&unique)));
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stress thread panicked"))
+                .collect()
+        });
+
+        // Symbol equality ⇔ string equality, across all threads' results.
+        let mut canon: HashMap<String, Symbol> = HashMap::new();
+        let mut rev: HashMap<Symbol, String> = HashMap::new();
+        for pairs in &per_thread {
+            for (name, sym) in pairs {
+                assert!(!sym.is_none(), "intern returned the NONE sentinel");
+                let prev = canon.entry(name.clone()).or_insert(*sym);
+                assert_eq!(prev, sym, "threads disagree on symbol for {name:?}");
+                let back = rev.entry(*sym).or_insert_with(|| name.clone());
+                assert_eq!(back, name, "two names share symbol {sym:?}");
+            }
+        }
+
+        // Every symbol round-trips through resolve/lookup.
+        for (name, sym) in &canon {
+            assert_eq!(resolve(*sym), Some(name.as_str()));
+            assert_eq!(lookup(name), Some(*sym));
+        }
+    }
+
+    // Re-interning in later rounds must not have grown the table: the
+    // count is bounded by distinct names, not by intern calls.
+    let count_after = interned_count();
+    let again: Vec<Symbol> = shared.iter().map(|n| intern(n)).collect();
+    assert_eq!(interned_count(), count_after, "re-intern grew the table");
+    for (name, sym) in shared.iter().zip(again) {
+        assert_eq!(resolve(sym), Some(name.as_str()));
+    }
+}

@@ -16,6 +16,15 @@
 //! test bed embeds unique ids in every record title so the comparison is
 //! unambiguous (see `mse-testbed`).
 
+// Panic-free and unsafe-free gates (see DESIGN.md §12): untrusted input
+// must never abort the process, and the counting allocator in `mse-bench`
+// is the workspace's only unsafe carve-out. Tests keep their unwraps.
+#![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod metrics;
 pub mod runner;
 pub mod tables;

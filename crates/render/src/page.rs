@@ -44,13 +44,16 @@ impl PageSigs {
         let n = dom.len();
         let text_sym = intern::intern(intern::TEXT_LABEL);
         let mut labels = vec![Symbol::NONE; n];
+        // mse:hot begin(sig-labels)
         for (id, label) in labels.iter_mut().enumerate() {
+            // mse:allow(index): id < dom.len() by construction
             *label = match &dom[NodeId(id as u32)].kind {
                 NodeKind::Element { tag, .. } => intern::intern(tag),
                 NodeKind::Text(t) if !t.trim().is_empty() => text_sym,
                 _ => Symbol::NONE,
             };
         }
+        // mse:hot end(sig-labels)
         // First viewable child per node (the next link of a start chain).
         let first_viewable: Vec<Option<NodeId>> = (0..n)
             .map(|id| {
@@ -59,30 +62,42 @@ impl PageSigs {
             })
             .collect();
         let mut chains = vec![[Symbol::NONE; 3]; n];
+        // mse:hot begin(sig-chains)
         for (id, chain) in chains.iter_mut().enumerate() {
             let mut cur = Some(NodeId(id as u32));
             for slot in chain.iter_mut() {
                 let Some(c) = cur else { break };
+                // mse:allow(index): c is a node of this DOM, both tables are len n
                 *slot = labels[c.index()];
+                // mse:allow(index): c is a node of this DOM, both tables are len n
                 cur = first_viewable[c.index()];
             }
         }
+        // mse:hot end(sig-chains)
         // Leaf lines, then one post-order pass lifting spans to ancestors.
         let mut spans = vec![Self::NO_SPAN; n];
+        // mse:hot begin(sig-span-lift)
         for (idx, line) in lines.iter().enumerate() {
             for &leaf in &line.leaves {
+                // mse:allow(index): line leaves are nodes of this DOM, table is len n
                 let s = &mut spans[leaf.index()];
                 s.0 = s.0.min(idx as u32);
                 s.1 = s.1.max(idx as u32 + 1);
             }
         }
         // Iterative post-order: a node pops after all its descendants have
-        // merged into it, then merges itself into its parent.
+        // merged into it, then merges itself into its parent. (Iterative,
+        // not recursive: adversarially deep DOMs must not grow the call
+        // stack — the traversal stack below is one bounded allocation.)
+        // mse:allow(alloc): one traversal stack allocation per page
         let mut stack: Vec<(NodeId, bool)> = vec![(dom.root(), false)];
         while let Some((node, processed)) = stack.pop() {
             if processed {
+                // mse:allow(index): node/parent are nodes of this DOM
                 if let Some(parent) = dom[node].parent {
+                    // mse:allow(index): node is a node of this DOM, table is len n
                     let child = spans[node.index()];
+                    // mse:allow(index): node/parent are nodes of this DOM
                     let s = &mut spans[parent.index()];
                     s.0 = s.0.min(child.0);
                     s.1 = s.1.max(child.1);
@@ -94,6 +109,7 @@ impl PageSigs {
                 }
             }
         }
+        // mse:hot end(sig-span-lift)
         let line_types = lines.iter().map(|l| l.ltype.code()).collect();
         PageSigs {
             labels,

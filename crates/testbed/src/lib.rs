@@ -15,6 +15,15 @@
 //! false-SBM traps ("Buy new: $…", "Phone: …"), static repeated-format
 //! navigation link lists, and non-sibling record structures.
 
+// Panic-free and unsafe-free gates (see DESIGN.md §12): untrusted input
+// must never abort the process, and the counting allocator in `mse-bench`
+// is the workspace's only unsafe carve-out. Tests keep their unwraps.
+#![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod corpus;
 pub mod records;
 pub mod spec;

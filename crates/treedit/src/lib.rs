@@ -13,6 +13,15 @@
 //!   string edit distance whose substitution cost is the normalized tree
 //!   distance, normalized by the longer list.
 
+// Panic-free and unsafe-free gates (see DESIGN.md §12): untrusted input
+// must never abort the process, and the counting allocator in `mse-bench`
+// is the workspace's only unsafe carve-out. Tests keep their unwraps.
+#![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod sed;
 pub mod tagtree;
 pub mod zs;

@@ -20,7 +20,17 @@
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
 //! paper→module map and `EXPERIMENTS.md` for the reproduced evaluation.
 
+// Panic-free and unsafe-free gates (see DESIGN.md §12): untrusted input
+// must never abort the process, and the counting allocator in `mse-bench`
+// is the workspace's only unsafe carve-out. Tests keep their unwraps.
+#![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub use mse_algos as algos;
+pub use mse_analyze as analyze;
 pub use mse_annotate as annotate;
 pub use mse_baselines as baselines;
 pub use mse_core as core;

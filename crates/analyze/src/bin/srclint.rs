@@ -27,8 +27,12 @@ const DEFAULT_FILES: &[(&str, bool, bool)] = &[
     // (path, require_regions, allow_unsafe)
     ("crates/core/src/compiled.rs", true, false),
     ("crates/dom/src/intern.rs", true, false),
+    ("crates/dom/src/scan.rs", true, false),
+    ("crates/dom/src/entity.rs", true, false),
+    ("crates/dom/src/tokenizer.rs", true, false),
     ("crates/core/src/par.rs", true, false),
     ("crates/render/src/page.rs", true, false),
+    ("crates/render/src/layout.rs", true, false),
     ("crates/bench/src/alloc.rs", false, true),
 ];
 

@@ -37,7 +37,7 @@ fn separator_tag(dom: &Dom, node: NodeId) -> Option<String> {
     let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
     for c in dom.children(node) {
         if let NodeKind::Element { tag, .. } = &dom[c].kind {
-            *counts.entry(tag.as_str()).or_insert(0) += 1;
+            *counts.entry(*tag).or_insert(0) += 1;
         }
     }
     counts

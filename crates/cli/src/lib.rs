@@ -286,6 +286,11 @@ fn cmd_extract(args: &[String]) -> Result<String, CliError> {
     if opt(&opts, "strict").is_some() {
         ws.cfg.strict_verify = true;
     }
+    // --legacy also routes batch ingestion through the owned-string
+    // parser (fast fused ingest off) — the full reference pipeline.
+    if opt(&opts, "legacy").is_some() {
+        ws.cfg.legacy_ingest = true;
+    }
     mse_analyze::preserve_gate(&ws)
         .map_err(|e| CliError::data(format!("wrapper set refused: {e}")))?;
     if pos.len() > 1 {

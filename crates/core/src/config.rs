@@ -201,6 +201,15 @@ pub struct MseConfig {
     /// loading (gate off).
     #[serde(default)]
     pub strict_verify: bool,
+    /// Route batch extraction through the legacy owned-string ingest
+    /// (tokenizer → owned DOM → fresh render buffers) instead of the
+    /// zero-copy fused parse (DESIGN.md §13). Results are byte-identical
+    /// either way; only wall-clock time and allocation counts change.
+    /// `mse extract --legacy` sets this alongside the legacy matcher.
+    /// `#[serde(default)]` so configs saved before this field existed
+    /// still deserialize (fast ingest on).
+    #[serde(default)]
+    pub legacy_ingest: bool,
 }
 
 impl Default for MseConfig {
@@ -229,6 +238,7 @@ impl Default for MseConfig {
             enable_distance_cache: true,
             budget: ResourceBudget::default(),
             strict_verify: false,
+            legacy_ingest: false,
         }
     }
 }

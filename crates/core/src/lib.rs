@@ -65,6 +65,7 @@ pub mod family;
 pub mod features;
 pub mod granularity;
 pub mod grouping;
+pub mod ingest;
 pub mod maintenance;
 pub mod mining;
 pub mod mre;
@@ -81,6 +82,7 @@ pub use config::{MiningMode, MseConfig, ResourceBudget};
 pub use error::{Diagnostic, ExtractError, MseError, Stage};
 pub use family::FamilyWrapper;
 pub use features::{Features, Rec};
+pub use ingest::IngestScratch;
 pub use maintenance::{HealthReport, WrapperStatus};
 pub use page::Page;
 pub use pipeline::{

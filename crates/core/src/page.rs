@@ -119,18 +119,36 @@ impl Page {
 /// matches" across pages.
 pub fn clean_line(text: &str, query: Option<&str>) -> String {
     let mut out = String::with_capacity(text.len());
+    let mut buf = String::new();
+    clean_line_into(text, query, &mut buf, &mut out);
+    out
+}
+
+/// [`clean_line`] writing into caller-owned buffers: `buf` is per-token
+/// scratch, `out` receives the cleaned line (cleared first). The serving
+/// ingest path calls this with pooled strings so steady-state cleaning
+/// performs no heap allocation.
+pub(crate) fn clean_line_into(text: &str, query: Option<&str>, buf: &mut String, out: &mut String) {
+    out.clear();
     for token in text.split_whitespace() {
         // Strip digits from the token; drop it entirely if it was all
         // digits/punctuation around digits.
-        let stripped: String = token.chars().filter(|c| !c.is_ascii_digit()).collect();
-        if stripped.is_empty() {
+        buf.clear();
+        buf.extend(token.chars().filter(|c| !c.is_ascii_digit()));
+        if buf.is_empty() {
             continue;
         }
-        // Query-term removal (case-insensitive, word-level).
+        // Query-term removal (case-insensitive, word-level). Equivalent to
+        // comparing `normalize_word` outputs — both sides are trimmed of
+        // non-alphanumerics and compared ASCII-case-insensitively — but
+        // without materializing the normalized strings.
         if let Some(q) = query {
-            let lower = normalize_word(&stripped);
-            if q.split_whitespace()
-                .any(|qt| normalize_word(qt) == lower && !lower.is_empty())
+            let word = buf.trim_matches(|c: char| !c.is_alphanumeric());
+            if !word.is_empty()
+                && q.split_whitespace().any(|qt| {
+                    qt.trim_matches(|c: char| !c.is_alphanumeric())
+                        .eq_ignore_ascii_case(word)
+                })
             {
                 continue;
             }
@@ -138,14 +156,8 @@ pub fn clean_line(text: &str, query: Option<&str>) -> String {
         if !out.is_empty() {
             out.push(' ');
         }
-        out.push_str(&stripped);
+        out.push_str(buf);
     }
-    out
-}
-
-fn normalize_word(w: &str) -> String {
-    w.trim_matches(|c: char| !c.is_alphanumeric())
-        .to_ascii_lowercase()
 }
 
 /// The content-line span covered by a DOM node's leaves, if any. Answered

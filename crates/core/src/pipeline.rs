@@ -651,7 +651,12 @@ impl SectionWrapperSet {
     ///
     /// Compiles the wrapper set once, then fans pages out over
     /// work-stealing workers (see [`crate::par::par_map_with`]) with one
-    /// reused [`crate::compiled::ExtractScratch`] arena per worker.
+    /// reused [`crate::compiled::ExtractScratch`] arena and one
+    /// [`crate::ingest::IngestScratch`] per worker: pages are ingested on
+    /// the fused zero-copy path ([`Page::try_from_html_fast`]) and their
+    /// buffers recycled after extraction. Set
+    /// [`MseConfig::legacy_ingest`](crate::config::MseConfig) to route
+    /// through the owned-string ingest instead (identical output).
     pub fn extract_batch_cached(
         &self,
         inputs: &[(&str, Option<&str>)],
@@ -661,14 +666,27 @@ impl SectionWrapperSet {
         crate::par::par_map_with(
             inputs,
             self.cfg.effective_threads(),
-            crate::compiled::ExtractScratch::new,
-            |scratch, _, (html, q)| match Page::try_from_html(html, *q, &self.cfg.budget) {
-                Ok((page, diags)) => {
-                    let mut ex = cw.extract_page_scratch(&page, cache, scratch);
-                    ex.diagnostics.splice(0..0, diags);
-                    ex
+            || {
+                (
+                    crate::compiled::ExtractScratch::new(),
+                    crate::ingest::IngestScratch::new(),
+                )
+            },
+            |(scratch, ingest), _, (html, q)| {
+                let ingested = if self.cfg.legacy_ingest {
+                    Page::try_from_html(html, *q, &self.cfg.budget)
+                } else {
+                    Page::try_from_html_fast(html, *q, &self.cfg.budget, ingest)
+                };
+                match ingested {
+                    Ok((page, diags)) => {
+                        let mut ex = cw.extract_page_scratch(&page, cache, scratch);
+                        ex.diagnostics.splice(0..0, diags);
+                        ingest.recycle(page);
+                        ex
+                    }
+                    Err(e) => Extraction::degraded(&e),
                 }
-                Err(e) => Extraction::degraded(&e),
             },
         )
     }

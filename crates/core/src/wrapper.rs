@@ -270,7 +270,7 @@ pub fn start_chain(dom: &mse_dom::Dom, node: NodeId) -> String {
             None => break,
         };
         let label = match &dom[n].kind {
-            NodeKind::Element { tag, .. } => tag.as_str(),
+            NodeKind::Element { tag, .. } => *tag,
             NodeKind::Text(_) => "#text",
             _ => "#node",
         };

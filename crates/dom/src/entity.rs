@@ -3,38 +3,132 @@
 //! Covers the named entities that actually occur on 2006-era search result
 //! pages plus numeric (`&#NNN;` / `&#xHH;`) references. Unknown entities are
 //! left verbatim, which is what browsers of the era did.
+//!
+//! The serving fast path uses [`decode_entities_cow`], which returns the
+//! input slice unchanged (no allocation) unless a reference actually
+//! decodes — on real result pages the overwhelming majority of text runs
+//! carry no entities at all.
+
+use std::borrow::Cow;
 
 /// Decode entity references in `input`.
 pub fn decode_entities(input: &str) -> String {
-    if !input.contains('&') {
-        return input.to_string();
-    }
-    let bytes = input.as_bytes();
-    let mut out = String::with_capacity(input.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'&' {
-            if let Some((decoded, consumed)) = decode_one(&input[i..]) {
-                out.push_str(&decoded);
-                i += consumed;
-                continue;
-            }
-        }
-        // Push the (possibly multi-byte) char starting at i.
-        match input[i..].chars().next() {
-            Some(ch) => {
-                out.push(ch);
-                i += ch.len_utf8();
-            }
-            None => break,
-        }
-    }
-    out
+    decode_entities_cow(input).into_owned()
 }
 
+/// What a single entity reference decodes to. Named entities map to
+/// `'static` strings and numeric references to a `char`, so decoding one
+/// reference never allocates.
+enum Decoded {
+    Ch(char),
+    Str(&'static str),
+}
+
+impl Decoded {
+    #[inline]
+    fn push_onto(&self, out: &mut String) {
+        match self {
+            Decoded::Ch(c) => out.push(*c),
+            Decoded::Str(s) => out.push_str(s),
+        }
+    }
+}
+
+// mse:hot begin(entity-cow-decode)
+/// Copy-on-write entity decoding: borrows `input` unchanged when no entity
+/// reference decodes, and only allocates (one output string, sized to the
+/// input) when one does.
+pub fn decode_entities_cow(input: &str) -> Cow<'_, str> {
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    // Phase 1: prove an allocation is needed. Hop from `&` to `&` with the
+    // SWAR scanner; most slices exit at the first probe with no `&` found.
+    let (first_at, first) = loop {
+        // mse:allow(index): `i` starts at 0 and only advances past found `&`s
+        match crate::scan::find_byte(&bytes[i..], b'&') {
+            None => return Cow::Borrowed(input),
+            Some(off) => {
+                let at = i + off;
+                // mse:allow(index): `&` is ASCII, so `at` is a char boundary
+                if let Some(hit) = decode_one(&input[at..]) {
+                    break (at, hit);
+                }
+                i = at + 1;
+            }
+        }
+    };
+    // Phase 2: a reference decodes — build the owned output.
+    // mse:allow(alloc): the copy-on-write contract allocates exactly here, once
+    let mut out = String::with_capacity(input.len());
+    // mse:allow(index): `first_at` sits on an ASCII `&` — a char boundary
+    out.push_str(&input[..first_at]);
+    let (decoded, consumed) = first;
+    decoded.push_onto(&mut out);
+    let mut j = first_at + consumed;
+    while j < bytes.len() {
+        // mse:allow(index): `j` advances by decoded-reference lengths — always a char boundary
+        match crate::scan::find_byte(&bytes[j..], b'&') {
+            None => {
+                // mse:allow(index): `j` is a char boundary (see above)
+                out.push_str(&input[j..]);
+                break;
+            }
+            Some(off) => {
+                let at = j + off;
+                // mse:allow(index): `j` and `at` are char boundaries (`&` is ASCII)
+                out.push_str(&input[j..at]);
+                // mse:allow(index): `at` is a char boundary (`&` is ASCII)
+                if let Some((d, c)) = decode_one(&input[at..]) {
+                    d.push_onto(&mut out);
+                    j = at + c;
+                } else {
+                    out.push('&');
+                    j = at + 1;
+                }
+            }
+        }
+    }
+    Cow::Owned(out)
+}
+// mse:hot end(entity-cow-decode)
+
+// mse:hot begin(entity-into-decode)
+/// Append the decoded form of `input` onto `out` with no intermediate
+/// allocation. The serving path uses this to decode attribute values and
+/// text runs straight into recycled string slots; output is byte-identical
+/// to `out.push_str(&decode_entities(input))`.
+pub fn decode_entities_into(input: &str, out: &mut String) {
+    let bytes = input.as_bytes();
+    let mut j = 0usize;
+    while j < bytes.len() {
+        // mse:allow(index): `j` advances by decoded-reference lengths — always a char boundary
+        match crate::scan::find_byte(&bytes[j..], b'&') {
+            None => {
+                // mse:allow(index): `j` is a char boundary (see above)
+                out.push_str(&input[j..]);
+                return;
+            }
+            Some(off) => {
+                let at = j + off;
+                // mse:allow(index): `j` and `at` are char boundaries (`&` is ASCII)
+                out.push_str(&input[j..at]);
+                // mse:allow(index): `at` is a char boundary (`&` is ASCII)
+                if let Some((d, c)) = decode_one(&input[at..]) {
+                    d.push_onto(out);
+                    j = at + c;
+                } else {
+                    out.push('&');
+                    j = at + 1;
+                }
+            }
+        }
+    }
+}
+// mse:hot end(entity-into-decode)
+
 /// Try to decode a single entity at the start of `s` (which begins with `&`).
-/// Returns the decoded text and the number of bytes consumed.
-fn decode_one(s: &str) -> Option<(String, usize)> {
+/// Returns the decoded value and the number of bytes consumed.
+fn decode_one(s: &str) -> Option<(Decoded, usize)> {
     debug_assert!(s.starts_with('&'));
     let bytes = s.as_bytes();
     if bytes.get(1) == Some(&b'#') {
@@ -68,7 +162,7 @@ fn decode_one(s: &str) -> Option<(String, usize)> {
         // past U+10FFFF (including u32 overflow) and surrogates map to
         // U+FFFD per HTML5, never to a panic or an invalid scalar.
         let ch = code.and_then(char::from_u32).unwrap_or('\u{FFFD}');
-        return Some((ch.to_string(), j + 1));
+        return Some((Decoded::Ch(ch), j + 1));
     }
     // Byte-level scan for the ';' within the lookahead window: slicing the
     // &str at a fixed byte offset would panic when a multi-byte character
@@ -119,7 +213,7 @@ fn decode_one(s: &str) -> Option<(String, usize)> {
         "ccedil" => "\u{e7}",
         _ => return None,
     };
-    Some((text.to_string(), semi + 1))
+    Some((Decoded::Str(text), semi + 1))
 }
 
 /// Escape the five XML-significant characters for safe re-serialization.
@@ -210,6 +304,23 @@ mod tests {
     }
 
     #[test]
+    fn into_matches_legacy_and_appends() {
+        for s in [
+            "plain text",
+            "",
+            "a &amp; b",
+            "R&D &amp; friends &x",
+            "&#65;&#x42; tail",
+            "&абвгде; &amp;",
+            "a&",
+        ] {
+            let mut out = String::from("pre|");
+            decode_entities_into(s, &mut out);
+            assert_eq!(out, format!("pre|{}", decode_entities(s)), "on {s:?}");
+        }
+    }
+
+    #[test]
     fn escape_round_trip() {
         let original = "a < b & c > d";
         assert_eq!(decode_entities(&escape_text(original)), original);
@@ -223,5 +334,32 @@ mod tests {
     #[test]
     fn multibyte_passthrough() {
         assert_eq!(decode_entities("héllo — ok"), "héllo — ok");
+    }
+
+    #[test]
+    fn cow_borrows_when_nothing_decodes() {
+        for s in ["plain text", "", "R&D stays & so does &bogus; stuff", "a&"] {
+            match decode_entities_cow(s) {
+                Cow::Borrowed(b) => assert_eq!(b, s),
+                Cow::Owned(o) => panic!("unexpected allocation for {s:?} -> {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cow_owns_and_matches_legacy_when_decoding() {
+        for s in [
+            "a &amp; b",
+            "&lt;tag&gt;",
+            "R&D &amp; friends &x",
+            "&#65;&#x42; tail",
+            "prefix &bogus; then &amp; end",
+            "&абвгде; &amp;",
+        ] {
+            let cow = decode_entities_cow(s);
+            assert!(matches!(cow, Cow::Owned(_)), "expected owned for {s:?}");
+            assert_eq!(cow.as_ref(), decode_entities(s));
+        }
+        assert_eq!(decode_entities_cow("a &amp; b").as_ref(), "a & b");
     }
 }

@@ -160,28 +160,78 @@ fn interner() -> &'static Interner {
 /// is recovered from (the tables are append-only; a panicked writer leaves
 /// at worst a fully-inserted entry).
 pub fn intern(name: &str) -> Symbol {
+    intern_pair(name).0
+}
+
+/// Intern a name and hand back both its [`Symbol`] and the interner's
+/// `&'static str` copy. The zero-copy parse path stores the static name in
+/// [`crate::NodeData`] directly, so building an element node allocates
+/// nothing once its tag has been seen.
+pub fn intern_pair(name: &str) -> (Symbol, &'static str) {
     let int = interner();
     // mse:hot begin(intern-fast-path)
     // Steady-state interning of a seeded vocabulary never leaves this
     // read-lock probe; the write path below is cold (first sight of a
     // name) and is deliberately *outside* the hot region — it allocates
     // the leaked name by design.
-    if let Some(&sym) = int.map.read().unwrap_or_else(|p| p.into_inner()).get(name) {
-        return sym;
+    if let Some((&stored, &sym)) = int
+        .map
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .get_key_value(name)
+    {
+        return (sym, stored);
     }
     // mse:hot end(intern-fast-path)
     let mut map = int.map.write().unwrap_or_else(|p| p.into_inner());
     // Double-check: another thread may have interned between the locks.
-    if let Some(&sym) = map.get(name) {
-        return sym;
+    if let Some((&stored, &sym)) = map.get_key_value(name) {
+        return (sym, stored);
     }
     let mut names = int.names.write().unwrap_or_else(|p| p.into_inner());
     let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
     let sym = Symbol(names.len() as u32);
     names.push(leaked);
     map.insert(leaked, sym);
-    sym
+    (sym, leaked)
 }
+
+/// Longest tag name the stack-buffer lowercase path handles; raw names
+/// past this length fall back to a heap lowercase (they are pathological —
+/// no real HTML vocabulary comes close).
+pub(crate) const TAG_BUF: usize = 64;
+
+/// Lowercase `raw` into `buf` without allocating, returning the borrowed
+/// lowercase string, or `None` when `raw` does not fit.
+#[inline]
+pub(crate) fn lower_inline<'b>(raw: &str, buf: &'b mut [u8; TAG_BUF]) -> Option<&'b str> {
+    let bytes = raw.as_bytes();
+    if bytes.len() > TAG_BUF {
+        return None;
+    }
+    for (dst, &src) in buf.iter_mut().zip(bytes) {
+        *dst = src.to_ascii_lowercase();
+    }
+    // ASCII-lowercasing never breaks UTF-8 (non-ASCII bytes pass through),
+    // so this cannot fail; the graceful fallback honors the crate's
+    // panic-free policy anyway.
+    std::str::from_utf8(buf.get(..bytes.len())?).ok()
+}
+
+// mse:hot begin(intern-tag-lower)
+/// Intern the ASCII-lowercase of a raw tag name without allocating in the
+/// steady state: the name is lowercased into a stack buffer and probed
+/// against the interner directly.
+pub fn intern_tag_lower(raw: &str) -> (Symbol, &'static str) {
+    let mut buf = [0u8; TAG_BUF];
+    match lower_inline(raw, &mut buf) {
+        Some(lower) => intern_pair(lower),
+        // mse:allow(alloc): oversized (> 64-byte) tag names take a cold
+        // heap-lowercase fallback; real vocabularies never reach it.
+        None => intern_pair(&raw.to_ascii_lowercase()),
+    }
+}
+// mse:hot end(intern-tag-lower)
 
 /// Look a name up without inserting it.
 pub fn lookup(name: &str) -> Option<Symbol> {
@@ -258,6 +308,34 @@ mod tests {
         for &tag in SEED_TAGS {
             assert!(lookup(tag).is_some(), "seed tag {tag} missing");
         }
+    }
+
+    #[test]
+    fn intern_pair_returns_interned_storage() {
+        let (sym, name) = intern_pair("table");
+        assert_eq!(sym, intern("table"));
+        assert_eq!(name, "table");
+        assert_eq!(resolve(sym), Some(name));
+    }
+
+    #[test]
+    fn intern_tag_lower_folds_case() {
+        assert_eq!(intern_tag_lower("DIV"), intern_pair("div"));
+        assert_eq!(intern_tag_lower("TaBlE"), intern_pair("table"));
+        assert_eq!(intern_tag_lower("div"), intern_pair("div"));
+        // Oversized names take the heap fallback but still fold case.
+        let long = "X".repeat(100);
+        assert_eq!(intern_tag_lower(&long), intern_pair(&long.to_lowercase()));
+    }
+
+    #[test]
+    fn lower_inline_bounds() {
+        let mut buf = [0u8; TAG_BUF];
+        assert_eq!(lower_inline("BR", &mut buf), Some("br"));
+        assert_eq!(lower_inline("", &mut buf), Some(""));
+        assert_eq!(lower_inline(&"y".repeat(TAG_BUF + 1), &mut buf), None);
+        // Non-ASCII passes through untouched.
+        assert_eq!(lower_inline("Dérive", &mut buf), Some("dérive"));
     }
 
     #[test]

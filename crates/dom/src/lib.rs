@@ -49,15 +49,16 @@ pub mod error;
 pub mod intern;
 pub mod node;
 pub mod parser;
+pub mod scan;
 pub mod serialize;
 pub mod tagpath;
 pub mod tokenizer;
 
 pub use error::{DomError, ParseLimits, DEFAULT_MAX_DEPTH};
-pub use intern::{intern, resolve, Symbol};
+pub use intern::{intern, intern_pair, intern_tag_lower, resolve, Symbol};
 pub use node::{Attr, Dom, NodeData, NodeId, NodeKind};
-pub use parser::{parse, parse_with_limits};
+pub use parser::{parse, parse_serving, parse_with_limits, ParseScratch};
 pub use tagpath::{
     CompactStep, CompactTagPath, Direction, MergedStep, MergedTagPath, PathNode, TagPath,
 };
-pub use tokenizer::{tokenize, Token};
+pub use tokenizer::{tokenize, Event, Lexer, Token};

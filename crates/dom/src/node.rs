@@ -39,8 +39,10 @@ pub struct Attr {
 pub enum NodeKind {
     /// The synthetic document root (parent of `<html>`).
     Document,
-    /// An element; the tag name is lower-cased.
-    Element { tag: String, attrs: Vec<Attr> },
+    /// An element; the tag name is lower-cased. The name is the global
+    /// interner's `&'static str` copy (see [`crate::intern`]), so cloning a
+    /// node or comparing tags never touches the heap.
+    Element { tag: &'static str, attrs: Vec<Attr> },
     /// A text run (entity-decoded, whitespace preserved).
     Text(String),
     /// An HTML comment (content without delimiters). Kept so that
@@ -74,7 +76,7 @@ impl NodeData {
     /// Tag name if this is an element.
     pub fn tag(&self) -> Option<&str> {
         match &self.kind {
-            NodeKind::Element { tag, .. } => Some(tag.as_str()),
+            NodeKind::Element { tag, .. } => Some(tag),
             _ => None,
         }
     }
@@ -261,6 +263,23 @@ pub(crate) fn dom_nodes_mut(dom: &mut Dom) -> &mut Vec<NodeData> {
     &mut dom.nodes
 }
 
+impl Dom {
+    /// Build a DOM on top of recycled node storage: the vector is cleared
+    /// (capacity retained) and re-seeded with the document root. This is
+    /// the clear-don't-drop half of `ParseScratch` reuse.
+    pub(crate) fn with_storage(mut nodes: Vec<NodeData>) -> Dom {
+        nodes.clear();
+        nodes.push(NodeData::new(NodeKind::Document));
+        Dom { nodes }
+    }
+
+    /// Surrender the node storage so a scratch arena can reuse its
+    /// capacity for the next page.
+    pub(crate) fn take_storage(self) -> Vec<NodeData> {
+        self.nodes
+    }
+}
+
 /// Iterator over the children of a node.
 pub struct Children<'a> {
     dom: &'a Dom,
@@ -318,12 +337,12 @@ mod tests {
     fn tiny() -> (Dom, NodeId, NodeId, NodeId) {
         let mut d = Dom::new();
         let a = d.alloc(NodeKind::Element {
-            tag: "div".into(),
+            tag: "div",
             attrs: vec![],
         });
         let b = d.alloc(NodeKind::Text("x".into()));
         let c = d.alloc(NodeKind::Element {
-            tag: "span".into(),
+            tag: "span",
             attrs: vec![],
         });
         let root = d.root();
@@ -364,12 +383,12 @@ mod tests {
     fn text_of_concatenates_in_order() {
         let mut d = Dom::new();
         let p = d.alloc(NodeKind::Element {
-            tag: "p".into(),
+            tag: "p",
             attrs: vec![],
         });
         let t1 = d.alloc(NodeKind::Text("a".into()));
         let b = d.alloc(NodeKind::Element {
-            tag: "b".into(),
+            tag: "b",
             attrs: vec![],
         });
         let t2 = d.alloc(NodeKind::Text("b".into()));
@@ -405,7 +424,7 @@ mod tests {
     fn attr_lookup() {
         let mut d = Dom::new();
         let a = d.alloc(NodeKind::Element {
-            tag: "a".into(),
+            tag: "a",
             attrs: vec![Attr {
                 name: "href".into(),
                 value: "http://x".into(),

@@ -6,10 +6,29 @@
 //! `{TABLE}C{TBODY}` even though 2006 HTML rarely wrote `<tbody>`),
 //! auto-closing of `p`/`li`/`dt`/`dd`/`tr`/`td`/`th`/`option`, void
 //! elements, and recovery from unmatched end tags.
+//!
+//! One [`Builder`] serves two front ends:
+//!
+//! * [`parse`] / [`parse_with_limits`] — the legacy pipeline: the owned
+//!   [`Token`] stream from [`tokenize`], comments materialized as nodes.
+//! * [`parse_serving`] — the zero-copy serving path: the streaming
+//!   [`Lexer`], node/label/stack buffers recycled through a
+//!   [`ParseScratch`], comment nodes *skipped* (they are invisible to
+//!   layout, tag paths count only element siblings, and tag forests drop
+//!   them), and per-node start-chain labels computed inline so the
+//!   signature pass downstream does not re-derive them.
+//!
+//! Skipping comments must not change anything observable, so the builder
+//! (a) blocks text-node merging exactly where the legacy comment node
+//! would sit between two text runs ([`Builder::merge_block`]) and
+//! (b) counts skipped nodes toward the node budget so
+//! [`ParseLimits::max_nodes`] trips at identical points on both paths.
 
 use crate::error::{DomError, ParseLimits};
-use crate::node::{Dom, NodeId, NodeKind};
-use crate::tokenizer::{tokenize, Token};
+use crate::intern::{self, Symbol};
+use crate::node::{Attr, Dom, NodeData, NodeId, NodeKind};
+use crate::tokenizer::{tokenize, Event, Lexer, Token};
+use std::borrow::Cow;
 
 /// Elements that never have children.
 pub fn is_void(tag: &str) -> bool {
@@ -85,13 +104,16 @@ pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Dom, DomEr
                 name,
                 attrs,
                 self_closing,
-            } => b.start_tag(&name, attrs, self_closing),
+            } => {
+                let (sym, tag) = intern::intern_pair(&name);
+                b.start_tag(tag, sym, attrs, self_closing);
+            }
             Token::EndTag { name } => b.end_tag(&name),
-            Token::Text(t) => b.text(t),
+            Token::Text(t) => b.text(Cow::Owned(t)),
             Token::Comment(c) => b.comment(c),
             Token::Doctype(_) => {}
         }
-        if b.dom.len() > limits.max_nodes {
+        if b.node_count() > limits.max_nodes {
             return Err(DomError::TooManyNodes {
                 max: limits.max_nodes,
             });
@@ -108,6 +130,141 @@ pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Dom, DomEr
     Ok(dom)
 }
 
+/// Clear-don't-drop scratch buffers for [`parse_serving`] (the parse-side
+/// sibling of `mse-core`'s `ExtractScratch`).
+///
+/// Holds the node arena, the label table and the open-element stack of the
+/// *previous* page so the next parse reuses their capacity instead of
+/// growing fresh vectors. Thread one instance through each batch worker;
+/// after the page's extraction is done, feed its `Dom` and labels back via
+/// [`ParseScratch::recycle`].
+#[derive(Default)]
+pub struct ParseScratch {
+    nodes: Vec<NodeData>,
+    labels: Vec<Symbol>,
+    stack: Vec<NodeId>,
+    /// Recycled per-element attribute vectors. Stale `Attr` entries are
+    /// kept on purpose: the lexer overwrites their name/value strings in
+    /// place, so their heap capacity is what makes the next parse cheap.
+    attrs: Vec<Vec<Attr>>,
+    /// Recycled text-node strings, refilled in place by the builder.
+    texts: Vec<String>,
+}
+
+/// Upper bound on pooled attr vectors / text strings, so one giant page
+/// cannot pin its whole DOM's string storage in the scratch forever.
+const POOL_CAP: usize = 4096;
+
+impl ParseScratch {
+    pub fn new() -> ParseScratch {
+        ParseScratch::default()
+    }
+
+    /// Reclaim the storage of a finished page's DOM (and its label table)
+    /// for the next parse: the node arena keeps its capacity, and each
+    /// node's attribute vector / text string is harvested into the attr
+    /// and text pools instead of being dropped.
+    pub fn recycle(&mut self, dom: Dom, labels: Vec<Symbol>) {
+        let mut nodes = dom.take_storage();
+        for nd in nodes.drain(..) {
+            match nd.kind {
+                NodeKind::Element { attrs, .. }
+                    if attrs.capacity() > 0 && self.attrs.len() < POOL_CAP =>
+                {
+                    self.attrs.push(attrs);
+                }
+                NodeKind::Text(s) if s.capacity() > 0 && self.texts.len() < POOL_CAP => {
+                    self.texts.push(s);
+                }
+                _ => {}
+            }
+        }
+        self.nodes = nodes;
+        self.labels = labels;
+    }
+
+    /// Capacity of the recycled node arena (steady-state reuse probe).
+    pub fn node_capacity(&self) -> usize {
+        self.nodes.capacity()
+    }
+
+    /// Number of pooled attribute vectors (steady-state reuse probe).
+    pub fn attr_pool_len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of pooled text strings (steady-state reuse probe).
+    pub fn text_pool_len(&self) -> usize {
+        self.texts.len()
+    }
+}
+
+/// Zero-copy serving parse: [`Lexer`] events straight into the tree
+/// builder, buffers recycled through `scratch`, comments skipped, and the
+/// per-node start-chain labels (the same values `PageSigs` computes:
+/// element tag symbol, `#text` for non-whitespace text, `NONE` otherwise)
+/// returned alongside the DOM.
+///
+/// Produces a DOM identical to [`parse_with_limits`]'s except that comment
+/// nodes are absent — a difference invisible to layout, tag paths and tag
+/// forests, and therefore to extraction (`tests/parse_differential.rs`
+/// holds the two paths to byte-identical extractions).
+pub fn parse_serving(
+    input: &str,
+    limits: &ParseLimits,
+    scratch: &mut ParseScratch,
+) -> Result<(Dom, Vec<Symbol>), DomError> {
+    if input.len() > limits.max_input_bytes {
+        return Err(DomError::InputTooLarge {
+            len: input.len(),
+            max: limits.max_input_bytes,
+        });
+    }
+    let mut b = Builder::serving(limits.max_depth, scratch);
+    let mut lx = Lexer::new(input);
+    lx.set_attr_pool(std::mem::take(&mut scratch.attrs));
+    let mut buf = [0u8; intern::TAG_BUF];
+    let mut over_budget = false;
+    while let Some(ev) = lx.next_event() {
+        match ev {
+            Event::Start {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                let (sym, tag) = intern::intern_tag_lower(name);
+                b.start_tag(tag, sym, attrs, self_closing);
+            }
+            Event::End { name } => match intern::lower_inline(name, &mut buf) {
+                Some(lower) => b.end_tag(lower),
+                // Oversized names: cold heap fallback, same as the interner's.
+                None => b.end_tag(&name.to_ascii_lowercase()),
+            },
+            Event::Text(raw) => b.text_raw(raw),
+            Event::Comment(_) => b.skip_comment(),
+            Event::Doctype(_) => {}
+        }
+        if b.node_count() > limits.max_nodes {
+            // Break (not return) so the pools below survive the error path.
+            over_budget = true;
+            break;
+        }
+    }
+    // Unconsumed pool entries go back to the scratch even on failure.
+    scratch.attrs = lx.take_attr_pool();
+    let (dom, labels, stack, texts, skipped) = b.finish_serving();
+    scratch.stack = stack;
+    scratch.texts = texts;
+    if over_budget || dom.len() + skipped > limits.max_nodes {
+        // The storage of this failed page is dropped; the scratch simply
+        // regrows on the next one. Budget trips are the rare path.
+        return Err(DomError::TooManyNodes {
+            max: limits.max_nodes,
+        });
+    }
+    Ok((dom, labels))
+}
+
 struct Builder {
     dom: Dom,
     /// Open-element stack; `stack[0]` is the document root.
@@ -118,21 +275,103 @@ struct Builder {
     html: Option<NodeId>,
     head: Option<NodeId>,
     body: Option<NodeId>,
+    /// Serving mode: maintain `labels` in lockstep with the arena.
+    track_labels: bool,
+    /// Per-node start-chain labels (see `PageSigs::labels`); only filled
+    /// when `track_labels`.
+    labels: Vec<Symbol>,
+    text_sym: Symbol,
+    /// Parent under which a comment was just skipped: text-node merging is
+    /// blocked there, exactly where the legacy comment node would sit
+    /// between two text runs. Cleared by the next append anywhere (the
+    /// legacy adjacency is then broken by a real node again).
+    merge_block: Option<NodeId>,
+    /// Comment nodes the legacy path would have materialized; counted into
+    /// [`Builder::node_count`] so budgets trip at identical points.
+    skipped_nodes: usize,
+    /// Recycled text-node strings ([`ParseScratch::texts`]); popped and
+    /// refilled in place when a borrowed text run needs owning.
+    text_pool: Vec<String>,
 }
 
 impl Builder {
     fn new(max_depth: usize) -> Self {
-        let dom = Dom::new();
+        Builder::assemble(
+            Dom::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            false,
+            max_depth,
+        )
+    }
+
+    /// A serving-mode builder on recycled scratch storage.
+    fn serving(max_depth: usize, scratch: &mut ParseScratch) -> Self {
+        let dom = Dom::with_storage(std::mem::take(&mut scratch.nodes));
+        let mut labels = std::mem::take(&mut scratch.labels);
+        labels.clear();
+        let mut stack = std::mem::take(&mut scratch.stack);
+        stack.clear();
+        let texts = std::mem::take(&mut scratch.texts);
+        Builder::assemble(dom, labels, stack, texts, true, max_depth)
+    }
+
+    fn assemble(
+        dom: Dom,
+        mut labels: Vec<Symbol>,
+        mut stack: Vec<NodeId>,
+        text_pool: Vec<String>,
+        track_labels: bool,
+        max_depth: usize,
+    ) -> Self {
         let root = dom.root();
+        stack.push(root);
+        let text_sym = if track_labels {
+            intern::intern(intern::TEXT_LABEL)
+        } else {
+            Symbol::NONE
+        };
+        if track_labels {
+            labels.push(Symbol::NONE); // the document root
+        }
         Builder {
             dom,
-            stack: vec![root],
+            stack,
             // Room for root/html/body plus at least one content level.
             max_depth: max_depth.max(4),
             html: None,
             head: None,
             body: None,
+            track_labels,
+            labels,
+            text_sym,
+            merge_block: None,
+            skipped_nodes: 0,
+            text_pool,
         }
+    }
+
+    /// Nodes this parse accounts for: the arena plus skipped comments.
+    fn node_count(&self) -> usize {
+        self.dom.len() + self.skipped_nodes
+    }
+
+    /// Allocate + append an element, maintaining labels and merge blocking.
+    fn new_element(
+        &mut self,
+        parent: NodeId,
+        tag: &'static str,
+        sym: Symbol,
+        attrs: Vec<Attr>,
+    ) -> NodeId {
+        let el = self.dom.alloc(NodeKind::Element { tag, attrs });
+        if self.track_labels {
+            self.labels.push(sym);
+        }
+        self.merge_block = None;
+        self.dom.append(parent, el);
+        el
     }
 
     fn top_tag(&self) -> Option<&str> {
@@ -144,12 +383,9 @@ impl Builder {
         if let Some(h) = self.html {
             return h;
         }
-        let h = self.dom.alloc(NodeKind::Element {
-            tag: "html".into(),
-            attrs: vec![],
-        });
+        let (sym, tag) = intern::intern_pair("html");
         let root = self.dom.root();
-        self.dom.append(root, h);
+        let h = self.new_element(root, tag, sym, vec![]);
         self.html = Some(h);
         h
     }
@@ -159,11 +395,8 @@ impl Builder {
             return h;
         }
         let html = self.ensure_html();
-        let h = self.dom.alloc(NodeKind::Element {
-            tag: "head".into(),
-            attrs: vec![],
-        });
-        self.dom.append(html, h);
+        let (sym, tag) = intern::intern_pair("head");
+        let h = self.new_element(html, tag, sym, vec![]);
         self.head = Some(h);
         h
     }
@@ -176,14 +409,14 @@ impl Builder {
         // "{HTML}C{HEAD}S{BODY}".
         self.ensure_head();
         let html = self.ensure_html();
-        let b = self.dom.alloc(NodeKind::Element {
-            tag: "body".into(),
-            attrs: vec![],
-        });
-        self.dom.append(html, b);
+        let (sym, tag) = intern::intern_pair("body");
+        let b = self.new_element(html, tag, sym, vec![]);
         self.body = Some(b);
-        // Content insertion happens inside <body> from now on.
-        self.stack = vec![self.dom.root(), html, b];
+        // Content insertion happens inside <body> from now on. Clear +
+        // extend (not a fresh vec) so recycled stack capacity survives.
+        let root = self.dom.root();
+        self.stack.clear();
+        self.stack.extend([root, html, b]);
         b
     }
 
@@ -205,16 +438,12 @@ impl Builder {
         self.ensure_body()
     }
 
-    fn start_tag(&mut self, name: &str, attrs: Vec<crate::node::Attr>, self_closing: bool) {
-        match name {
+    fn start_tag(&mut self, tag: &'static str, sym: Symbol, attrs: Vec<Attr>, self_closing: bool) {
+        match tag {
             "html" => {
                 if self.html.is_none() {
-                    let h = self.dom.alloc(NodeKind::Element {
-                        tag: "html".into(),
-                        attrs,
-                    });
                     let root = self.dom.root();
-                    self.dom.append(root, h);
+                    let h = self.new_element(root, tag, sym, attrs);
                     self.html = Some(h);
                 }
                 return;
@@ -227,44 +456,34 @@ impl Builder {
                 if self.body.is_none() {
                     self.ensure_head();
                     let html = self.ensure_html();
-                    let b = self.dom.alloc(NodeKind::Element {
-                        tag: "body".into(),
-                        attrs,
-                    });
-                    self.dom.append(html, b);
+                    let b = self.new_element(html, tag, sym, attrs);
                     self.body = Some(b);
-                    self.stack = vec![self.dom.root(), html, b];
+                    let root = self.dom.root();
+                    self.stack.clear();
+                    self.stack.extend([root, html, b]);
                 }
                 return;
             }
             _ => {}
         }
 
-        if self.in_document_top() && is_head_only(name) {
+        if self.in_document_top() && is_head_only(tag) {
             let head = self.ensure_head();
-            let el = self.dom.alloc(NodeKind::Element {
-                tag: name.into(),
-                attrs,
-            });
-            self.dom.append(head, el);
+            self.new_element(head, tag, sym, attrs);
             return;
         }
-        if self.in_document_top() && matches!(name, "script" | "style") {
+        if self.in_document_top() && matches!(tag, "script" | "style") {
             // Head-position script/style: attach under head, content was
             // already dropped by the tokenizer.
             let head = self.ensure_head();
-            let el = self.dom.alloc(NodeKind::Element {
-                tag: name.into(),
-                attrs,
-            });
-            self.dom.append(head, el);
+            self.new_element(head, tag, sym, attrs);
             return;
         }
 
         self.ensure_body();
 
         // Implicit closes.
-        let close_set = closes(name);
+        let close_set = closes(tag);
         while let Some(top) = self.top_tag() {
             if close_set.contains(&top) {
                 self.stack.pop();
@@ -274,42 +493,36 @@ impl Builder {
         }
 
         // Table fix-ups mirroring browser DOMs.
-        if name == "tr" {
+        if tag == "tr" {
             if self.top_tag() == Some("table") {
-                self.push_element("tbody", vec![]);
+                self.push_implied("tbody");
             }
-        } else if matches!(name, "td" | "th") {
+        } else if matches!(tag, "td" | "th") {
             if self.top_tag() == Some("table") {
-                self.push_element("tbody", vec![]);
+                self.push_implied("tbody");
             }
             if matches!(
                 self.top_tag(),
                 Some("tbody") | Some("thead") | Some("tfoot")
             ) {
-                self.push_element("tr", vec![]);
+                self.push_implied("tr");
             }
-        } else if matches!(name, "thead" | "tbody" | "tfoot") {
+        } else if matches!(tag, "thead" | "tbody" | "tfoot") {
             // fine as-is
         }
 
         let parent = self.insertion_parent();
-        let el = self.dom.alloc(NodeKind::Element {
-            tag: name.into(),
-            attrs,
-        });
-        self.dom.append(parent, el);
-        if !is_void(name) && !self_closing && self.stack.len() < self.max_depth {
+        let el = self.new_element(parent, tag, sym, attrs);
+        if !is_void(tag) && !self_closing && self.stack.len() < self.max_depth {
             self.stack.push(el);
         }
     }
 
-    fn push_element(&mut self, tag: &str, attrs: Vec<crate::node::Attr>) {
+    /// Open an implied element (`tbody`/`tr` table fix-ups).
+    fn push_implied(&mut self, tag: &'static str) {
+        let (sym, tag) = intern::intern_pair(tag);
         let parent = self.insertion_parent();
-        let el = self.dom.alloc(NodeKind::Element {
-            tag: tag.into(),
-            attrs,
-        });
-        self.dom.append(parent, el);
+        let el = self.new_element(parent, tag, sym, vec![]);
         if self.stack.len() < self.max_depth {
             self.stack.push(el);
         }
@@ -335,41 +548,88 @@ impl Builder {
         // Unmatched end tag: ignored (browser recovery).
     }
 
-    fn text(&mut self, t: String) {
+    fn text(&mut self, t: Cow<'_, str>) {
         if self.in_document_top() && t.trim().is_empty() {
             return; // inter-element whitespace before <body>
         }
         self.ensure_body();
         let parent = self.insertion_parent();
-        // Merge adjacent text nodes so that one visual run is one leaf.
-        if let Some(last) = self.dom[parent].last_child {
-            if let NodeKind::Text(_) = self.dom[last].kind {
-                // We need mutable access; re-borrow through a small dance.
-                if let NodeKind::Text(prev) = &self.dom_mut_kind(last) {
-                    let merged = format!("{prev}{t}");
-                    self.set_text(last, merged);
+        // Merge adjacent text nodes so that one visual run is one leaf —
+        // unless a skipped comment sits between them (`merge_block`), where
+        // the legacy path would have two separate leaves.
+        if self.merge_block != Some(parent) {
+            if let Some(last) = self.dom[parent].last_child {
+                let nodes = crate::node::dom_nodes_mut(&mut self.dom);
+                if let NodeKind::Text(prev) = &mut nodes[last.index()].kind {
+                    prev.push_str(&t);
+                    // Merging can flip a whitespace-only run to viewable.
+                    let non_ws = !prev.trim().is_empty();
+                    if self.track_labels {
+                        self.labels[last.index()] =
+                            if non_ws { self.text_sym } else { Symbol::NONE };
+                    }
                     return;
                 }
             }
         }
-        let node = self.dom.alloc(NodeKind::Text(t));
+        let non_ws = !t.trim().is_empty();
+        let owned = match t {
+            Cow::Owned(s) => s,
+            Cow::Borrowed(s) => match self.text_pool.pop() {
+                Some(mut buf) => {
+                    buf.clear();
+                    buf.push_str(s);
+                    buf
+                }
+                None => s.to_string(),
+            },
+        };
+        let node = self.dom.alloc(NodeKind::Text(owned));
+        if self.track_labels {
+            self.labels
+                .push(if non_ws { self.text_sym } else { Symbol::NONE });
+        }
+        self.merge_block = None;
         self.dom.append(parent, node);
     }
 
-    fn dom_mut_kind(&self, id: NodeId) -> NodeKind {
-        self.dom[id].kind.clone()
-    }
-
-    fn set_text(&mut self, id: NodeId, t: String) {
-        // Arena nodes are only reachable through &mut self here.
-        let data = &mut self.dom_nodes_mut()[id.index()];
-        data.kind = NodeKind::Text(t);
-    }
-
-    fn dom_nodes_mut(&mut self) -> &mut Vec<crate::node::NodeData> {
-        // Safety hatch: Dom exposes no public mutable node access; the
-        // builder owns the Dom so a private accessor is fine.
-        crate::node::dom_nodes_mut(&mut self.dom)
+    /// Serving-mode text: decode entity references from the raw slice
+    /// straight into the merge target or a pooled string slot, skipping
+    /// [`Builder::text`]'s intermediate owned string. Output is identical
+    /// to `self.text(decode_entities_cow(raw))`.
+    fn text_raw(&mut self, raw: &str) {
+        if self.in_document_top() {
+            // Cold path: the pre-<body> whitespace check needs the decoded
+            // text (e.g. `&nbsp;` decodes to non-whitespace U+00A0... which
+            // `trim` does strip — but `&#65;` does not).
+            return self.text(crate::entity::decode_entities_cow(raw));
+        }
+        let parent = self.insertion_parent();
+        if self.merge_block != Some(parent) {
+            if let Some(last) = self.dom[parent].last_child {
+                let nodes = crate::node::dom_nodes_mut(&mut self.dom);
+                if let NodeKind::Text(prev) = &mut nodes[last.index()].kind {
+                    crate::entity::decode_entities_into(raw, prev);
+                    let non_ws = !prev.trim().is_empty();
+                    if self.track_labels {
+                        self.labels[last.index()] =
+                            if non_ws { self.text_sym } else { Symbol::NONE };
+                    }
+                    return;
+                }
+            }
+        }
+        let mut buf = self.text_pool.pop().unwrap_or_default();
+        buf.clear();
+        crate::entity::decode_entities_into(raw, &mut buf);
+        let non_ws = !buf.trim().is_empty();
+        let node = self.dom.alloc(NodeKind::Text(buf));
+        if self.track_labels {
+            self.labels
+                .push(if non_ws { self.text_sym } else { Symbol::NONE });
+        }
+        self.merge_block = None;
+        self.dom.append(parent, node);
     }
 
     fn comment(&mut self, c: String) {
@@ -378,12 +638,43 @@ impl Builder {
         }
         let parent = self.insertion_parent();
         let node = self.dom.alloc(NodeKind::Comment(c));
+        if self.track_labels {
+            self.labels.push(Symbol::NONE);
+        }
+        self.merge_block = None;
         self.dom.append(parent, node);
+    }
+
+    /// Serving-mode comment: account for the node the legacy path would
+    /// create, and block text merging across the gap it leaves.
+    fn skip_comment(&mut self) {
+        if self.in_document_top() {
+            return; // dropped on both paths
+        }
+        let parent = self.insertion_parent();
+        self.skipped_nodes += 1;
+        self.merge_block = Some(parent);
     }
 
     fn finish(mut self) -> Dom {
         self.ensure_body();
         self.dom
+    }
+
+    /// Serving-mode finish: the DOM, its label table, the stack and text
+    /// pool storage (handed back to the scratch) and the skipped-node
+    /// count for the final budget check.
+    fn finish_serving(mut self) -> (Dom, Vec<Symbol>, Vec<NodeId>, Vec<String>, usize) {
+        self.ensure_body();
+        debug_assert_eq!(self.labels.len(), self.dom.len());
+        self.stack.clear();
+        (
+            self.dom,
+            self.labels,
+            self.stack,
+            self.text_pool,
+            self.skipped_nodes,
+        )
     }
 }
 
@@ -469,7 +760,7 @@ mod tests {
         let kinds: Vec<_> = dom
             .children(b)
             .map(|c| match &dom[c].kind {
-                NodeKind::Element { tag, .. } => tag.clone(),
+                NodeKind::Element { tag, .. } => tag.to_string(),
                 NodeKind::Text(t) => format!("#{t}"),
                 _ => "?".into(),
             })
@@ -566,5 +857,135 @@ mod tests {
         let tbody = dom.find_tag("tbody").unwrap();
         assert_eq!(dom.children(tbody).count(), 2);
         assert!(dom.text_of(dom.root()).contains("snippet two"));
+    }
+
+    // ---- serving-path (zero-copy + scratch) tests ----
+
+    /// Flatten a DOM to comparable preorder descriptors, dropping comment
+    /// nodes (the one deliberate serving-path difference).
+    fn flat_sans_comments(dom: &Dom) -> Vec<String> {
+        dom.preorder(dom.root())
+            .filter_map(|n| match &dom[n].kind {
+                NodeKind::Document => Some("#doc".to_string()),
+                NodeKind::Element { tag, attrs } => Some(format!("<{tag} {attrs:?}>")),
+                NodeKind::Text(t) => Some(format!("#{t}")),
+                NodeKind::Comment(_) => None,
+            })
+            .collect()
+    }
+
+    const SERVING_CASES: &[&str] = &[
+        "hello",
+        "<title>T</title><p>x</p>",
+        "<body><p>a<p>b</body>",
+        "<table><tr><td>a<td>b<tr><td>c</table>",
+        "<body>a<br>b<hr>c</body>",
+        "<p>a&amp;b</p>",
+        "<p>a<!-- c -->b</p>",
+        "<p>a<!--c1--><!--c2-->b</p>",
+        "<p>a<!--c-->b< x</p>",
+        "<div>a<!--c--><b>x</b>more</div>",
+        "<!-- before body --><p>x</p>",
+        "<UL><LI>A<LI>B</UL>",
+        "<p><font color=\"red\" size=\"2\"><b>hot</b></font></p>",
+        "</html></body><p>x</p>",
+        "<script>var a = '<td>';</script><p>after</p>",
+        "1 < 2 and 3 > 2",
+        "<p>&#65;&bogus;&amp;</p>",
+        "",
+        "   \n\t  ",
+    ];
+
+    #[test]
+    fn serving_parse_matches_legacy_modulo_comments() {
+        let mut scratch = ParseScratch::new();
+        for html in SERVING_CASES {
+            let legacy = parse(html);
+            let (dom, labels) = parse_serving(html, &ParseLimits::unbounded(), &mut scratch)
+                .expect("unbounded serving parse cannot fail");
+            assert_eq!(
+                flat_sans_comments(&dom),
+                flat_sans_comments(&legacy),
+                "tree mismatch on {html:?}"
+            );
+            assert_eq!(labels.len(), dom.len(), "label table length on {html:?}");
+            // Labels must be exactly the PageSigs rule.
+            let text_sym = intern::intern(intern::TEXT_LABEL);
+            for (i, &label) in labels.iter().enumerate() {
+                let expect = match &dom[NodeId(i as u32)].kind {
+                    NodeKind::Element { tag, .. } => intern::intern(tag),
+                    NodeKind::Text(t) if !t.trim().is_empty() => text_sym,
+                    _ => Symbol::NONE,
+                };
+                assert_eq!(label, expect, "label of node {i} on {html:?}");
+            }
+            scratch.recycle(dom, labels);
+        }
+    }
+
+    #[test]
+    fn serving_comment_blocks_text_merge() {
+        // Legacy keeps "a" and "b" as separate leaves (a comment node sits
+        // between them); serving must too, despite skipping the comment.
+        let mut scratch = ParseScratch::new();
+        let (dom, _) = parse_serving(
+            "<p>a<!-- c -->b</p>",
+            &ParseLimits::unbounded(),
+            &mut scratch,
+        )
+        .unwrap();
+        let p = dom.find_tag("p").unwrap();
+        let texts: Vec<String> = dom
+            .children(p)
+            .filter_map(|c| match &dom[c].kind {
+                NodeKind::Text(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, vec!["a", "b"]);
+        // ...while lexer-fragmented text away from comments still merges.
+        let (dom, _) =
+            parse_serving("<p>1 < 2 ok</p>", &ParseLimits::unbounded(), &mut scratch).unwrap();
+        let p = dom.find_tag("p").unwrap();
+        assert_eq!(dom.children(p).count(), 1);
+        assert_eq!(dom.text_of(p), "1 < 2 ok");
+    }
+
+    #[test]
+    fn serving_budget_counts_skipped_comments() {
+        // Node budgets must trip identically whether comments materialize
+        // or not.
+        let html = format!("<body>x{}", "<!--c-->".repeat(40));
+        let limits = ParseLimits {
+            max_nodes: 20,
+            ..ParseLimits::default()
+        };
+        let legacy = parse_with_limits(&html, &limits);
+        let mut scratch = ParseScratch::new();
+        let serving = parse_serving(&html, &limits, &mut scratch);
+        assert!(matches!(legacy, Err(DomError::TooManyNodes { max: 20 })));
+        assert!(matches!(serving, Err(DomError::TooManyNodes { max: 20 })));
+    }
+
+    #[test]
+    fn serving_scratch_capacity_is_reused() {
+        let html = "<body><table>".to_string()
+            + &"<tr><td>cell one</td><td>cell two</td></tr>".repeat(50)
+            + "</table></body>";
+        let mut scratch = ParseScratch::new();
+        let (dom, labels) = parse_serving(&html, &ParseLimits::unbounded(), &mut scratch).unwrap();
+        scratch.recycle(dom, labels);
+        let cap = scratch.node_capacity();
+        assert!(cap > 0);
+        for _ in 0..3 {
+            let (dom, labels) =
+                parse_serving(&html, &ParseLimits::unbounded(), &mut scratch).unwrap();
+            scratch.recycle(dom, labels);
+            assert_eq!(
+                scratch.node_capacity(),
+                cap,
+                "arena capacity must be stable"
+            );
+        }
     }
 }

@@ -1,0 +1,194 @@
+//! Word-at-a-time byte search for the zero-copy lexer.
+//!
+//! The lexer's inner loops are "find the next `<`" / "find the next `>`"
+//! / "is there a `&` in this slice" — classic `memchr` territory. The
+//! container has no external `memchr` crate, so this module implements the
+//! standard SWAR (SIMD-within-a-register) trick in safe Rust: load eight
+//! bytes as a little-endian `u64`, XOR with the broadcast needle so
+//! matching lanes become zero, then detect a zero lane with
+//! `(x - 0x01…01) & !x & 0x80…80`. One branch per eight bytes instead of
+//! one per byte; the tail (< 8 bytes) falls back to a linear scan.
+//!
+//! Everything here is branch-light, allocation-free and `unsafe`-free —
+//! the word loads go through `u64::from_le_bytes` on a `TryFrom`-checked
+//! array, which the optimizer lowers to a plain unaligned load.
+
+/// Broadcast `0x01` to every lane.
+const LO: u64 = 0x0101_0101_0101_0101;
+/// Broadcast `0x80` to every lane.
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Bit-mask whose high lane bits mark the zero bytes of `x`.
+#[inline(always)]
+fn zero_lanes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+// mse:hot begin(scan-find-byte)
+/// Index of the first occurrence of `needle` in `haystack`, or `None`.
+///
+/// Drop-in for `memchr::memchr`. The SWAR body inspects eight bytes per
+/// iteration; ties are broken toward the lowest index via the trailing
+/// zero count of the lane mask (little-endian load ⇒ lowest address is
+/// the least significant lane).
+#[inline]
+pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+    let pat = u64::from(needle).wrapping_mul(LO);
+    let len = haystack.len();
+    let mut i = 0usize;
+    while i + 8 <= len {
+        // mse:allow(index): `i + 8 <= len` bounds the range; try_from succeeds
+        let Ok(word) = <[u8; 8]>::try_from(&haystack[i..i + 8]) else {
+            break;
+        };
+        let m = zero_lanes(u64::from_le_bytes(word) ^ pat);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    while i < len {
+        // mse:allow(index): `i < len` guards the access.
+        if haystack[i] == needle {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+// mse:hot end(scan-find-byte)
+
+// mse:hot begin(scan-find-byte2)
+/// Index of the first byte equal to `a` **or** `b`, or `None`.
+///
+/// Used by the lexer to stop a text run at `<` while noticing whether a
+/// `&` needs entity decoding would cost a second pass; scanning both in
+/// one sweep keeps the text hot loop single-pass.
+#[inline]
+pub fn find_byte2(haystack: &[u8], a: u8, b: u8) -> Option<usize> {
+    let pat_a = u64::from(a).wrapping_mul(LO);
+    let pat_b = u64::from(b).wrapping_mul(LO);
+    let len = haystack.len();
+    let mut i = 0usize;
+    while i + 8 <= len {
+        // mse:allow(index): `i + 8 <= len` bounds the range; try_from succeeds
+        let Ok(word) = <[u8; 8]>::try_from(&haystack[i..i + 8]) else {
+            break;
+        };
+        let w = u64::from_le_bytes(word);
+        let m = zero_lanes(w ^ pat_a) | zero_lanes(w ^ pat_b);
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    while i < len {
+        // mse:allow(index): `i < len` guards the access.
+        let c = haystack[i];
+        if c == a || c == b {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+// mse:hot end(scan-find-byte2)
+
+/// `true` iff `haystack` contains `needle`. Convenience wrapper used by
+/// the copy-on-write entity decoder's "any `&` at all?" pre-check.
+#[inline]
+pub fn contains_byte(haystack: &[u8], needle: u8) -> bool {
+    find_byte(haystack, needle).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(haystack: &[u8], needle: u8) -> Option<usize> {
+        haystack.iter().position(|&b| b == needle)
+    }
+
+    fn naive2(haystack: &[u8], a: u8, b: u8) -> Option<usize> {
+        haystack.iter().position(|&c| c == a || c == b)
+    }
+
+    #[test]
+    fn empty_and_short_haystacks() {
+        assert_eq!(find_byte(b"", b'<'), None);
+        assert_eq!(find_byte(b"a", b'a'), Some(0));
+        assert_eq!(find_byte(b"abc", b'c'), Some(2));
+        assert_eq!(find_byte(b"abc", b'x'), None);
+    }
+
+    #[test]
+    fn matches_naive_at_every_position() {
+        // A buffer long enough to exercise word iterations + tail, with the
+        // needle planted at every offset (including none).
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 64] {
+            for pos in 0..=len {
+                let mut buf = vec![b'.'; len];
+                if pos < len {
+                    buf[pos] = b'<';
+                }
+                assert_eq!(
+                    find_byte(&buf, b'<'),
+                    naive(&buf, b'<'),
+                    "len={len} pos={pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_of_several() {
+        let buf = b"....<..<....<";
+        assert_eq!(find_byte(buf, b'<'), Some(4));
+    }
+
+    #[test]
+    fn all_byte_values() {
+        let buf: Vec<u8> = (0u8..=255).collect();
+        for needle in 0u8..=255 {
+            assert_eq!(find_byte(&buf, needle), Some(needle as usize));
+        }
+        assert_eq!(find_byte(&[0xffu8; 40], 0x00), None);
+    }
+
+    #[test]
+    fn two_needle_matches_naive() {
+        for len in [0usize, 1, 7, 8, 9, 16, 17, 33] {
+            for pa in 0..=len {
+                for pb in 0..=len {
+                    let mut buf = vec![b'.'; len];
+                    if pa < len {
+                        buf[pa] = b'<';
+                    }
+                    if pb < len {
+                        buf[pb] = b'&';
+                    }
+                    assert_eq!(
+                        find_byte2(&buf, b'<', b'&'),
+                        naive2(&buf, b'<', b'&'),
+                        "len={len} pa={pa} pb={pb}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contains_agrees_with_find() {
+        assert!(contains_byte(b"a&b", b'&'));
+        assert!(!contains_byte(b"plain text only", b'&'));
+    }
+
+    #[test]
+    fn non_ascii_and_null_bytes() {
+        let buf = b"\x00\xc3\xa9\x00<\xff";
+        assert_eq!(find_byte(buf, 0x00), Some(0));
+        assert_eq!(find_byte(buf, b'<'), Some(4));
+        assert_eq!(find_byte(buf, 0xff), Some(5));
+        assert_eq!(find_byte2(buf, b'<', 0xff), Some(4));
+    }
+}

@@ -188,6 +188,54 @@ impl CompactTagPath {
         CompactTagPath { steps }
     }
 
+    /// [`CompactTagPath::to_node`] writing into `out`, reusing its step
+    /// storage — kept steps overwrite their tag `String`s in place, so a
+    /// recycled path costs no heap traffic beyond depth growth. The
+    /// serving layout pass calls this once per content line.
+    pub fn to_node_into(dom: &Dom, target: NodeId, out: &mut CompactTagPath) {
+        // Depth = number of element ancestors (including `target` itself
+        // when it is an element).
+        let mut depth = 0usize;
+        let mut cur = Some(target);
+        while let Some(n) = cur {
+            if dom[n].is_element() {
+                depth += 1;
+            }
+            cur = dom[n].parent;
+        }
+        out.steps.truncate(depth);
+        while out.steps.len() < depth {
+            // `String::new()` is allocation-free; `push_str` below grows
+            // the fresh string only once.
+            out.steps.push(CompactStep {
+                tag: String::new(),
+                s_before: 0,
+            });
+        }
+        // Fill back-to-front while walking up the parent chain, so the
+        // finished steps read root-first like `to_node`'s.
+        let mut i = depth;
+        let mut cur = Some(target);
+        while let Some(n) = cur {
+            if let Some(tag) = dom[n].tag() {
+                let mut s_before = 0;
+                let mut p = dom[n].prev_sibling;
+                while let Some(q) = p {
+                    if dom[q].is_element() {
+                        s_before += 1;
+                    }
+                    p = dom[q].prev_sibling;
+                }
+                i -= 1;
+                let step = &mut out.steps[i];
+                step.tag.clear();
+                step.tag.push_str(tag);
+                step.s_before = s_before;
+            }
+            cur = dom[n].parent;
+        }
+    }
+
     /// Number of levels (C nodes).
     pub fn len(&self) -> usize {
         self.steps.len()

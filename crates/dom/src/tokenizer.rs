@@ -4,9 +4,26 @@
 //! attributes, text runs, and comments. `<script>` and `<style>` switch to
 //! raw-text mode until the matching close tag. Malformed markup degrades to
 //! text rather than failing — result pages in the wild are tag soup.
+//!
+//! Two front ends share these rules:
+//!
+//! * [`tokenize`] — the legacy API: one pass, owned [`Token`]s
+//!   (`String` names/text, eagerly entity-decoded). Kept verbatim as the
+//!   `--legacy` baseline and the differential-test oracle.
+//! * [`Lexer`] — the zero-copy streaming API: [`Event`]s borrow their
+//!   name/text/comment slices straight from the input buffer, the inner
+//!   loops hop between `<`s with the SWAR scanner in [`crate::scan`], and
+//!   text is left *undecoded* so the parser can run the copy-on-write
+//!   entity path only on runs that contain `&`.
+//!
+//! Both front ends must agree token-for-token on every input — that
+//! equivalence is what makes the fused serving path byte-identical to the
+//! legacy pipeline, and `tests/parse_differential.rs` enforces it on an
+//! adversarial corpus.
 
 use crate::entity::decode_entities;
 use crate::node::Attr;
+use crate::scan::find_byte;
 
 /// A lexical token.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -312,6 +329,373 @@ impl<'a> Tokenizer<'a> {
     }
 }
 
+/// A borrowed lexical event from the zero-copy [`Lexer`].
+///
+/// Unlike [`Token`], names keep their source casing (the parser folds case
+/// through the interner's stack-buffer path) and text/comment bodies are
+/// raw input slices with entities *not yet* decoded. Attributes are the
+/// one owned part: they survive into [`crate::node::NodeData`], so their
+/// strings must outlive the input buffer anyway.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// `<tag attr="v">`; `self_closing` records a trailing `/`.
+    Start {
+        name: &'a str,
+        attrs: Vec<Attr>,
+        self_closing: bool,
+    },
+    /// `</tag>`.
+    End { name: &'a str },
+    /// A raw (undecoded) run of character data.
+    Text(&'a str),
+    /// `<!-- ... -->` (content only).
+    Comment(&'a str),
+    /// `<!DOCTYPE ...>` and other `<!` declarations (content only).
+    Doctype(&'a str),
+}
+
+/// Streaming zero-copy lexer. Call [`Lexer::next_event`] until it returns
+/// `None`; events borrow from the input.
+pub struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    /// When set, we are inside a raw-text element (script/style/textarea)
+    /// and only the matching `</name` terminates it. Holds the canonical
+    /// lowercase name, so no per-element allocation.
+    rawtext: Option<&'static str>,
+    /// Recycled attribute vectors (stale entries included — their string
+    /// capacity is overwritten in place by the next start tag). Fed by
+    /// `ParseScratch` through [`Lexer::set_attr_pool`]; empty by default,
+    /// in which case every start tag allocates fresh like before.
+    attr_pool: Vec<Vec<Attr>>,
+    /// Individual recycled `Attr` slots parked here when a start tag used
+    /// fewer attributes than its pooled vector held; the next tag that
+    /// needs to grow its vector draws from these before allocating.
+    spare_attrs: Vec<Attr>,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            rawtext: None,
+            attr_pool: Vec::new(),
+            spare_attrs: Vec::new(),
+        }
+    }
+
+    /// Install a pool of recycled attribute vectors for start tags to
+    /// overwrite instead of allocating.
+    pub fn set_attr_pool(&mut self, pool: Vec<Vec<Attr>>) {
+        self.attr_pool = pool;
+    }
+
+    /// Hand the (remaining) attribute pool back to its owner. Parked spare
+    /// slots ride along as one more pooled vector, so their string storage
+    /// survives into the next parse.
+    pub fn take_attr_pool(&mut self) -> Vec<Vec<Attr>> {
+        let mut pool = std::mem::take(&mut self.attr_pool);
+        let spare = std::mem::take(&mut self.spare_attrs);
+        if spare.capacity() > 0 {
+            pool.push(spare);
+        }
+        pool
+    }
+
+    // mse:hot begin(lex-dispatch)
+    /// The next lexical event, or `None` at end of input.
+    pub fn next_event(&mut self) -> Option<Event<'a>> {
+        loop {
+            if self.pos >= self.bytes.len() {
+                return None;
+            }
+            if let Some(name) = self.rawtext.take() {
+                // Raw-text content (script/style bodies) is dropped: it is
+                // never viewable content, matching the legacy tokenizer.
+                self.skip_rawtext(name);
+                continue;
+            }
+            // mse:allow(index): `self.pos < len` checked at loop entry.
+            if self.bytes[self.pos] == b'<' {
+                // Unterminated declarations and nameless end tags consume
+                // input without producing an event; loop for the next one.
+                if let Some(ev) = self.markup() {
+                    return Some(ev);
+                }
+            } else {
+                return Some(self.text_run());
+            }
+        }
+    }
+    // mse:hot end(lex-dispatch)
+
+    // mse:hot begin(lex-text-run)
+    /// A text run: everything up to the next `<` (or end of input),
+    /// borrowed raw.
+    fn text_run(&mut self) -> Event<'a> {
+        let start = self.pos;
+        // mse:allow(index): `start ≤ len` — it is the current position.
+        self.pos = match find_byte(&self.bytes[start..], b'<') {
+            Some(off) => start + off,
+            None => self.bytes.len(),
+        };
+        // mse:allow(index): `start ≤ pos ≤ len`, both on char boundaries (`<`/EOF)
+        Event::Text(&self.input[start..self.pos])
+    }
+    // mse:hot end(lex-text-run)
+
+    // mse:hot begin(lex-rawtext)
+    /// Inside `<script>`/`<style>`/`<textarea>`: skip until the matching
+    /// `</name` (case-insensitive), leaving `pos` at its `<`.
+    fn skip_rawtext(&mut self, name: &str) {
+        let nb = name.as_bytes();
+        let b = self.bytes;
+        let mut i = self.pos;
+        // mse:allow(index): `i ≤ len` is maintained by the hops below.
+        while let Some(off) = find_byte(&b[i..], b'<') {
+            let at = i + off;
+            if at + 2 + nb.len() > b.len() {
+                break;
+            }
+            // mse:allow(index): the length check above bounds `at + 2 + nb.len()`.
+            if b[at + 1] == b'/' && b[at + 2..at + 2 + nb.len()].eq_ignore_ascii_case(nb) {
+                // The end tag itself is consumed by `markup` next loop.
+                self.pos = at;
+                return;
+            }
+            i = at + 1;
+        }
+        self.pos = b.len();
+    }
+    // mse:hot end(lex-rawtext)
+
+    /// Dispatch at a `<`. Returns `None` when the construct consumes input
+    /// without producing an event (unterminated `<!` declaration, end tag
+    /// with an empty name).
+    fn markup(&mut self) -> Option<Event<'a>> {
+        let rest = &self.input[self.pos..];
+        if rest.starts_with("<!--") {
+            Some(self.comment())
+        } else if rest.starts_with("<!") {
+            self.declaration()
+        } else if rest.starts_with("</") {
+            self.end_tag()
+        } else if rest.len() > 1 && rest.as_bytes()[1].is_ascii_alphabetic() {
+            Some(self.start_tag())
+        } else {
+            // A lone '<' that does not begin a tag: literal text.
+            self.pos += 1;
+            Some(Event::Text("<"))
+        }
+    }
+
+    fn comment(&mut self) -> Event<'a> {
+        let body_start = self.pos + 4;
+        match self.input[body_start..].find("-->") {
+            Some(off) => {
+                let body = &self.input[body_start..body_start + off];
+                self.pos = body_start + off + 3;
+                Event::Comment(body)
+            }
+            None => {
+                let body = &self.input[body_start..];
+                self.pos = self.bytes.len();
+                Event::Comment(body)
+            }
+        }
+    }
+
+    fn declaration(&mut self) -> Option<Event<'a>> {
+        let body_start = self.pos + 2;
+        match find_byte(&self.bytes[body_start..], b'>') {
+            Some(off) => {
+                let body = &self.input[body_start..body_start + off];
+                self.pos = body_start + off + 1;
+                Some(Event::Doctype(body))
+            }
+            None => {
+                self.pos = self.bytes.len();
+                None
+            }
+        }
+    }
+
+    fn end_tag(&mut self) -> Option<Event<'a>> {
+        let name_start = self.pos + 2;
+        let mut i = name_start;
+        while i < self.bytes.len()
+            && (self.bytes[i].is_ascii_alphanumeric()
+                || self.bytes[i] == b'-'
+                || self.bytes[i] == b':')
+        {
+            i += 1;
+        }
+        let name = &self.input[name_start..i];
+        // Skip to '>'.
+        self.pos = match find_byte(&self.bytes[i..], b'>') {
+            Some(off) => i + off + 1,
+            None => self.bytes.len(),
+        };
+        if name.is_empty() {
+            None
+        } else {
+            Some(Event::End { name })
+        }
+    }
+
+    fn start_tag(&mut self) -> Event<'a> {
+        let name_start = self.pos + 1;
+        let mut i = name_start;
+        while i < self.bytes.len()
+            && (self.bytes[i].is_ascii_alphanumeric()
+                || self.bytes[i] == b'-'
+                || self.bytes[i] == b':')
+        {
+            i += 1;
+        }
+        let name = &self.input[name_start..i];
+        // Pool pop is lazy (on the first attribute): attribute-less tags —
+        // the majority — must not pop a recycled vector only to truncate
+        // its reusable string slots away.
+        let mut attrs: Vec<Attr> = Vec::new();
+        let mut used = 0usize;
+        let mut self_closing = false;
+        // Attribute loop — identical shape to the legacy tokenizer's, but
+        // writing into recycled `Attr` slots instead of pushing fresh ones.
+        loop {
+            while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= self.bytes.len() {
+                break;
+            }
+            match self.bytes[i] {
+                b'>' => {
+                    i += 1;
+                    break;
+                }
+                b'/' => {
+                    i += 1;
+                    if i < self.bytes.len() && self.bytes[i] == b'>' {
+                        self_closing = true;
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {
+                    if attrs.capacity() == 0 {
+                        if let Some(v) = self.attr_pool.pop() {
+                            attrs = v;
+                        }
+                    }
+                    i = self.attr_into(i, &mut attrs, &mut used);
+                }
+            }
+        }
+        // Park unused slots in the spare list (their strings stay reusable)
+        // instead of dropping them with `truncate`.
+        while attrs.len() > used {
+            if let Some(a) = attrs.pop() {
+                self.spare_attrs.push(a);
+            }
+        }
+        self.pos = i;
+        if !self_closing {
+            // Canonical lowercase names: no allocation to enter raw-text
+            // mode, unlike the legacy tokenizer's `name.clone()`.
+            self.rawtext = if name.eq_ignore_ascii_case("script") {
+                Some("script")
+            } else if name.eq_ignore_ascii_case("style") {
+                Some("style")
+            } else if name.eq_ignore_ascii_case("textarea") {
+                Some("textarea")
+            } else {
+                None
+            };
+        }
+        Event::Start {
+            name,
+            attrs,
+            self_closing,
+        }
+    }
+
+    /// Parse one attribute starting at byte `i` into the next slot of
+    /// `attrs` (recycled slots are overwritten in place — their name and
+    /// value strings keep their capacity); returns the new index. Only
+    /// slot growth and oversized names/values allocate.
+    fn attr_into(&mut self, mut i: usize, attrs: &mut Vec<Attr>, used: &mut usize) -> usize {
+        let name_start = i;
+        while i < self.bytes.len()
+            && !self.bytes[i].is_ascii_whitespace()
+            && !matches!(self.bytes[i], b'=' | b'>' | b'/')
+        {
+            i += 1;
+        }
+        if i == name_start {
+            // Unparseable junk; skip one byte to make progress.
+            return i + 1;
+        }
+        if *used == attrs.len() {
+            // Draw a parked slot (string capacity intact) before minting one.
+            attrs.push(self.spare_attrs.pop().unwrap_or_else(|| Attr {
+                name: String::new(),
+                value: String::new(),
+            }));
+        }
+        let slot = &mut attrs[*used];
+        *used += 1;
+        slot.name.clear();
+        slot.name.extend(
+            self.input[name_start..i]
+                .chars()
+                .map(|c| c.to_ascii_lowercase()),
+        );
+        slot.value.clear();
+        // Skip whitespace before a possible '='.
+        let mut j = i;
+        while j < self.bytes.len() && self.bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= self.bytes.len() || self.bytes[j] != b'=' {
+            return i;
+        }
+        j += 1; // past '='
+        while j < self.bytes.len() && self.bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= self.bytes.len() {
+            return j;
+        }
+        let (raw, end) = match self.bytes[j] {
+            q @ (b'"' | b'\'') => {
+                let vstart = j + 1;
+                let k = match find_byte(&self.bytes[vstart..], q) {
+                    Some(off) => vstart + off,
+                    None => self.bytes.len(),
+                };
+                (&self.input[vstart..k], (k + 1).min(self.bytes.len()))
+            }
+            _ => {
+                let vstart = j;
+                let mut k = vstart;
+                while k < self.bytes.len()
+                    && !self.bytes[k].is_ascii_whitespace()
+                    && self.bytes[k] != b'>'
+                {
+                    k += 1;
+                }
+                (&self.input[vstart..k], k)
+            }
+        };
+        crate::entity::decode_entities_into(raw, &mut slot.value);
+        end
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,5 +820,87 @@ mod tests {
         let toks = tokenize("<TABLE><TR><TD>x</TD></TR></TABLE>");
         assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "table"));
         assert!(matches!(&toks[1], Token::StartTag { name, .. } if name == "tr"));
+    }
+
+    /// Drive the zero-copy [`Lexer`] and normalize its events into legacy
+    /// [`Token`]s (lowercase names, decoded + merged text) so the two
+    /// front ends can be compared token-for-token.
+    fn lex_all(input: &str) -> Vec<Token> {
+        let mut lx = Lexer::new(input);
+        let mut out: Vec<Token> = Vec::new();
+        while let Some(ev) = lx.next_event() {
+            match ev {
+                Event::Start {
+                    name,
+                    attrs,
+                    self_closing,
+                } => out.push(Token::StartTag {
+                    name: name.to_ascii_lowercase(),
+                    attrs,
+                    self_closing,
+                }),
+                Event::End { name } => out.push(Token::EndTag {
+                    name: name.to_ascii_lowercase(),
+                }),
+                Event::Text(raw) => {
+                    let decoded = decode_entities(raw);
+                    if let Some(Token::Text(prev)) = out.last_mut() {
+                        prev.push_str(&decoded);
+                    } else {
+                        out.push(Token::Text(decoded));
+                    }
+                }
+                Event::Comment(c) => out.push(Token::Comment(c.to_string())),
+                Event::Doctype(d) => out.push(Token::Doctype(d.to_string())),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lexer_agrees_with_legacy_tokenizer() {
+        for html in [
+            "<p>Hello</p>",
+            r#"<a href="x" class='c' width=50 disabled>"#,
+            "<br/><hr />",
+            "<!DOCTYPE html><!-- hi --><b>x</b>",
+            "<script>if (a<b) { x(\"</p>\"); }</script><p>y</p>",
+            "<SCRIPT>var a = '</nope>';</SCRIPT>done",
+            "<p>a &amp; b&nbsp;c</p>",
+            "1 < 2 and 3 > 2",
+            "a<1 and b<2",
+            "<p>x<a href=",
+            "</p junk>after",
+            "</ nameless>tail",
+            "<TABLE><TR><TD>x</TD></TR></TABLE>",
+            "<!-- unterminated",
+            "<!unterminated decl",
+            "text<",
+            "a&b<i>c&amp;d</i>&#65;",
+            "<textarea>raw <b>inside</b></textarea>out",
+            "<td width=50%>x</td>",
+            "\u{0}nul<\u{0}>bytes\u{0}",
+            "<p title=\"a&amp;b\">q</p>",
+        ] {
+            assert_eq!(lex_all(html), tokenize(html), "input {html:?}");
+        }
+    }
+
+    #[test]
+    fn lexer_borrows_text_slices() {
+        let html = "<p>plain run</p>";
+        let mut lx = Lexer::new(html);
+        let ev1 = lx.next_event();
+        assert!(matches!(ev1, Some(Event::Start { name: "p", .. })));
+        match lx.next_event() {
+            Some(Event::Text(t)) => {
+                // Same backing buffer: pointer-range containment, not a copy.
+                let h = html.as_bytes().as_ptr() as usize;
+                let p = t.as_bytes().as_ptr() as usize;
+                assert!(p >= h && p + t.len() <= h + html.len());
+                assert_eq!(t, "plain run");
+            }
+            other => panic!("expected text event, got {other:?}"),
+        }
     }
 }

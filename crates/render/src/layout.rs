@@ -35,14 +35,63 @@ pub fn render_lines(dom: &Dom) -> Vec<ContentLine> {
     render_lines_capped(dom, usize::MAX).0
 }
 
+/// Clear-don't-drop buffers for repeated layout runs.
+///
+/// Finished line vectors from a previous page are handed back via
+/// [`LineScratch::recycle`]; the next render then *harvests* their inner
+/// allocations (line text `String`s, leaf `Vec`s, the outer line vector)
+/// instead of allocating fresh ones. In steady-state batch serving the
+/// layout pass performs no per-line heap allocations beyond tag-path
+/// construction and attribute-set nodes.
+#[derive(Default)]
+pub struct LineScratch {
+    /// Donor pool: previous pages' finished lines whose buffers get reused.
+    donor: Vec<ContentLine>,
+    /// Outer storage for the next render's line vector.
+    lines: Vec<ContentLine>,
+}
+
+impl LineScratch {
+    pub fn new() -> LineScratch {
+        LineScratch::default()
+    }
+
+    /// Return a finished line vector to the pool. The elements become
+    /// donors for future lines; the vector itself backs the next render's
+    /// output.
+    pub fn recycle(&mut self, mut lines: Vec<ContentLine>) {
+        self.donor.append(&mut lines);
+        self.lines = lines;
+    }
+
+    /// Donor-pool size (diagnostics/tests).
+    pub fn donor_len(&self) -> usize {
+        self.donor.len()
+    }
+}
+
 /// [`render_lines`] under a content-line budget: layout stops once
 /// `max_lines` lines exist and the second return value reports whether
 /// anything was dropped. The produced prefix is identical to the first
 /// `max_lines` lines of the unbudgeted render.
 pub fn render_lines_capped(dom: &Dom, max_lines: usize) -> (Vec<ContentLine>, bool) {
+    let mut scratch = LineScratch::default();
+    render_lines_capped_scratch(dom, max_lines, &mut scratch)
+}
+
+/// [`render_lines_capped`] drawing line storage from `scratch` (see
+/// [`LineScratch`]). Output is identical to the scratch-free entry point.
+pub fn render_lines_capped_scratch(
+    dom: &Dom,
+    max_lines: usize,
+    scratch: &mut LineScratch,
+) -> (Vec<ContentLine>, bool) {
+    let mut lines = std::mem::take(&mut scratch.lines);
+    lines.clear();
     let mut l = Layouter {
         dom,
-        lines: Vec::new(),
+        lines,
+        donor: std::mem::take(&mut scratch.donor),
         cur: Current::default(),
         max_lines,
         truncated: false,
@@ -63,6 +112,8 @@ pub fn render_lines_capped(dom: &Dom, max_lines: usize) -> (Vec<ContentLine>, bo
     for (i, line) in l.lines.iter_mut().enumerate() {
         line.number = i + 1;
     }
+    // Unconsumed donors stay pooled for the next page.
+    scratch.donor = l.donor;
     (l.lines, l.truncated)
 }
 
@@ -105,6 +156,8 @@ struct Current {
 struct Layouter<'a> {
     dom: &'a Dom,
     lines: Vec<ContentLine>,
+    /// Recycled lines whose inner buffers are harvested by `flush`.
+    donor: Vec<ContentLine>,
     cur: Current,
     /// Line budget; flushes past it set `truncated` and drop the line.
     max_lines: usize,
@@ -164,47 +217,101 @@ impl<'a> Layouter<'a> {
         self.cur.leaves.push(leaf);
     }
 
+    /// Reset the accumulator in place, keeping its buffer capacities.
+    fn reset_cur(&mut self) {
+        self.cur.text.clear();
+        self.cur.attrs.clear();
+        self.cur.leaves.clear();
+        self.cur.has_link_text = false;
+        self.cur.has_plain_text = false;
+        self.cur.has_image = false;
+        self.cur.has_form = false;
+        self.cur.heading = false;
+        self.cur.x = 0;
+        self.cur.started = false;
+    }
+
+    /// Pop a donor line (or allocate a fresh one) ready for overwriting.
+    fn blank_line(&mut self) -> ContentLine {
+        // mse:hot begin(layout-blank-line)
+        match self.donor.pop() {
+            Some(mut line) => {
+                line.number = 0;
+                line.text.clear();
+                line.attrs.clear();
+                line.leaves.clear();
+                line
+            }
+            None => ContentLine {
+                number: 0,
+                // mse:allow(alloc): cold path — donor pool exhausted.
+                text: String::new(),
+                ltype: LineType::Blank,
+                pos: 0,
+                // mse:allow(alloc): cold path — donor pool exhausted.
+                attrs: LineAttrs::new(),
+                path: CompactTagPath::default(),
+                // mse:allow(alloc): cold path — donor pool exhausted.
+                leaves: Vec::new(),
+            },
+        }
+        // mse:hot end(layout-blank-line)
+    }
+
     fn flush(&mut self) {
-        let cur = std::mem::take(&mut self.cur);
-        if !cur.started {
+        // mse:hot begin(layout-flush)
+        if !self.cur.started {
+            self.reset_cur();
             return;
         }
         if self.lines.len() >= self.max_lines {
             self.truncated = true;
+            self.reset_cur();
             return;
         }
-        let text = cur.text.trim().to_string();
-        let has_text = !text.is_empty();
-        let ltype = if cur.has_form {
+        let has_text = !self.cur.text.trim().is_empty();
+        let ltype = if self.cur.has_form {
             LineType::Form
-        } else if cur.heading && has_text {
+        } else if self.cur.heading && has_text {
             LineType::Heading
         } else if has_text {
-            match (cur.has_link_text, cur.has_plain_text) {
+            match (self.cur.has_link_text, self.cur.has_plain_text) {
                 (true, true) => LineType::LinkText,
                 (true, false) => LineType::Link,
                 _ => LineType::Text,
             }
-        } else if cur.has_image {
+        } else if self.cur.has_image {
             LineType::Image
         } else {
             // A line with no visible content: drop it.
+            self.reset_cur();
             return;
         };
-        let first_leaf = cur.leaves.first().copied();
-        let path = match first_leaf {
-            Some(leaf) => CompactTagPath::to_node(self.dom, leaf),
-            None => CompactTagPath::default(),
-        };
-        self.lines.push(ContentLine {
-            number: 0,
-            text,
-            ltype,
-            pos: cur.x,
-            attrs: cur.attrs,
-            path,
-            leaves: cur.leaves,
-        });
+        let first_leaf = self.cur.leaves.first().copied();
+        let mut line = self.blank_line();
+        // Overwrite the donor's path in place (reusing its step strings)
+        // rather than assigning a freshly built one.
+        match first_leaf {
+            Some(leaf) => CompactTagPath::to_node_into(self.dom, leaf, &mut line.path),
+            None => line.path.steps.clear(),
+        }
+        // Swap the accumulator's buffers into the line; the donor's old
+        // (cleared) buffers land in `cur` and are reused next line.
+        std::mem::swap(&mut line.text, &mut self.cur.text);
+        std::mem::swap(&mut line.attrs, &mut self.cur.attrs);
+        std::mem::swap(&mut line.leaves, &mut self.cur.leaves);
+        // In-place trim (legacy did `trim().to_string()`).
+        let end = line.text.trim_end().len();
+        line.text.truncate(end);
+        let lead = line.text.len() - line.text.trim_start().len();
+        if lead > 0 {
+            line.text.drain(..lead);
+        }
+        line.ltype = ltype;
+        line.pos = self.cur.x;
+        self.lines.push(line);
+        self.reset_cur();
+        // mse:hot end(layout-flush)
     }
 
     fn emit_hr(&mut self, node: NodeId, x: i32) {
@@ -213,22 +320,22 @@ impl<'a> Layouter<'a> {
             self.truncated = true;
             return;
         }
-        self.lines.push(ContentLine {
-            number: 0,
-            text: String::new(),
-            ltype: LineType::Hr,
-            pos: x,
-            attrs: LineAttrs::new(),
-            path: CompactTagPath::to_node(self.dom, node),
-            leaves: vec![node],
-        });
+        let mut line = self.blank_line();
+        line.ltype = LineType::Hr;
+        line.pos = x;
+        CompactTagPath::to_node_into(self.dom, node, &mut line.path);
+        line.leaves.push(node);
+        self.lines.push(line);
     }
 
     fn add_text(&mut self, node: NodeId, t: &str, ctx: &Ctx) {
-        let collapsed: String = t.split_whitespace().collect::<Vec<_>>().join(" ");
-        if collapsed.is_empty() {
+        // mse:hot begin(layout-add-text)
+        // Whitespace-collapse `t` directly into the accumulator (the legacy
+        // path built an intermediate `Vec` + joined `String` per text node).
+        let mut words = t.split_whitespace();
+        let Some(first) = words.next() else {
             return;
-        }
+        };
         self.ensure_started(ctx.x, node);
         if !self.cur.text.is_empty() && !self.cur.text.ends_with(' ') {
             // Preserve a word boundary when the source had surrounding space.
@@ -236,11 +343,20 @@ impl<'a> Layouter<'a> {
                 self.cur.text.push(' ');
             }
         }
-        self.cur.text.push_str(&collapsed);
+        self.cur.text.push_str(first);
+        for w in words {
+            self.cur.text.push(' ');
+            self.cur.text.push_str(w);
+        }
         if t.ends_with(char::is_whitespace) {
             self.cur.text.push(' ');
         }
-        self.cur.attrs.insert(ctx.attr.clone());
+        // Most text nodes on a line share one attr context: probe before
+        // cloning so the common case costs no `TextAttr` string clones.
+        if !self.cur.attrs.contains(&ctx.attr) {
+            // mse:allow(alloc): BTreeSet node insert — line attr sets are tiny.
+            self.cur.attrs.insert(ctx.attr.clone());
+        }
         if ctx.in_link {
             self.cur.has_link_text = true;
         } else {
@@ -249,6 +365,7 @@ impl<'a> Layouter<'a> {
         if ctx.in_heading {
             self.cur.heading = true;
         }
+        // mse:hot end(layout-add-text)
     }
 
     fn visit(&mut self, node: NodeId, ctx: &Ctx, depth: usize) {
@@ -257,20 +374,24 @@ impl<'a> Layouter<'a> {
         if self.truncated || depth > MAX_VISIT_DEPTH {
             return;
         }
-        match &self.dom[node].kind {
+        let dom = self.dom;
+        match &dom[node].kind {
             NodeKind::Text(t) => self.add_text(node, t, ctx),
             NodeKind::Comment(_) | NodeKind::Document => {
-                for c in self.dom.children(node) {
-                    self.visit(c, ctx, depth + 1);
+                let mut c = dom[node].first_child;
+                while let Some(id) = c {
+                    c = dom[id].next_sibling;
+                    self.visit(id, ctx, depth + 1);
                 }
             }
-            NodeKind::Element { tag, .. } => self.visit_element(node, tag.clone(), ctx, depth),
+            NodeKind::Element { tag, .. } => self.visit_element(node, tag, ctx, depth),
         }
     }
 
-    fn visit_element(&mut self, node: NodeId, tag: String, ctx: &Ctx, depth: usize) {
-        let data = &self.dom[node];
-        match tag.as_str() {
+    fn visit_element(&mut self, node: NodeId, tag: &'static str, ctx: &Ctx, depth: usize) {
+        let dom = self.dom;
+        let data = &dom[node];
+        match tag {
             "script" | "style" | "head" | "title" | "meta" | "link" | "base" => return,
             "hr" => {
                 self.emit_hr(node, ctx.x);
@@ -301,17 +422,19 @@ impl<'a> Layouter<'a> {
                 self.cur.attrs.insert(ctx.attr.clone());
                 // Render the control's visible label: option/button inner
                 // text, or an <input>'s value (browsers display both).
-                let label = if matches!(tag.as_str(), "option" | "button") {
-                    self.dom.text_of(node)
+                if matches!(tag, "option" | "button") {
+                    let label = dom.text_of(node);
+                    let label = label.trim();
+                    if !label.is_empty() {
+                        self.cur.text.push_str(label);
+                        self.cur.text.push(' ');
+                    }
                 } else if tag == "input" {
-                    data.attr("value").unwrap_or("").to_string()
-                } else {
-                    String::new()
-                };
-                let label = label.trim();
-                if !label.is_empty() {
-                    self.cur.text.push_str(label);
-                    self.cur.text.push(' ');
+                    let label = data.attr("value").unwrap_or("").trim();
+                    if !label.is_empty() {
+                        self.cur.text.push_str(label);
+                        self.cur.text.push(' ');
+                    }
                 }
                 return;
             }
@@ -322,11 +445,10 @@ impl<'a> Layouter<'a> {
             attr: ctx.attr.apply_element(data),
             x: ctx.x,
             in_link: ctx.in_link || (tag == "a" && data.attr("href").is_some()),
-            in_heading: ctx.in_heading
-                || matches!(tag.as_str(), "h1" | "h2" | "h3" | "h4" | "h5" | "h6"),
+            in_heading: ctx.in_heading || matches!(tag, "h1" | "h2" | "h3" | "h4" | "h5" | "h6"),
         };
 
-        match tag.as_str() {
+        match tag {
             "ul" | "ol" | "blockquote" | "dd" => child_ctx.x += LIST_INDENT,
             "table" => child_ctx.x += TABLE_INSET,
             _ => {}
@@ -336,23 +458,27 @@ impl<'a> Layouter<'a> {
             // Lay out cells left-to-right with accumulated x offsets.
             self.flush();
             let mut cell_x = child_ctx.x;
-            for cell in self.dom.children(node).collect::<Vec<_>>() {
-                if !self.dom[cell].is_element() {
+            let mut next_cell = dom[node].first_child;
+            while let Some(cell) = next_cell {
+                next_cell = dom[cell].next_sibling;
+                if !dom[cell].is_element() {
                     continue;
                 }
-                let cell_tag = self.dom[cell].tag().unwrap_or("");
+                let cell_tag = dom[cell].tag().unwrap_or("");
                 if !matches!(cell_tag, "td" | "th") {
                     continue;
                 }
                 let mut cctx = child_ctx.clone();
                 cctx.x = cell_x;
-                cctx.attr = child_ctx.attr.apply_element(&self.dom[cell]);
+                cctx.attr = child_ctx.attr.apply_element(&dom[cell]);
                 self.flush();
-                for c in self.dom.children(cell).collect::<Vec<_>>() {
-                    self.visit(c, &cctx, depth + 2);
+                let mut c = dom[cell].first_child;
+                while let Some(id) = c {
+                    c = dom[id].next_sibling;
+                    self.visit(id, &cctx, depth + 2);
                 }
                 self.flush();
-                let w = self.dom[cell]
+                let w = dom[cell]
                     .attr("width")
                     .and_then(parse_width)
                     .unwrap_or(DEFAULT_CELL_WIDTH);
@@ -361,12 +487,14 @@ impl<'a> Layouter<'a> {
             return;
         }
 
-        let block = is_block(&tag);
+        let block = is_block(tag);
         if block {
             self.flush();
         }
-        for c in self.dom.children(node).collect::<Vec<_>>() {
-            self.visit(c, &child_ctx, depth + 1);
+        let mut c = dom[node].first_child;
+        while let Some(id) = c {
+            c = dom[id].next_sibling;
+            self.visit(id, &child_ctx, depth + 1);
         }
         if block {
             self.flush();

@@ -34,7 +34,10 @@ pub mod page;
 pub mod style;
 
 pub use error::RenderError;
-pub use layout::{render_lines, render_lines_capped, render_lines_strict};
+pub use layout::{
+    render_lines, render_lines_capped, render_lines_capped_scratch, render_lines_strict,
+    LineScratch,
+};
 pub use line::{dpl, dtl, ContentLine, LineType, POSITION_K};
-pub use page::{cover_forest, render, PageSigs, RenderedPage};
+pub use page::{cover_forest, render, PageSigs, RenderedPage, SigScratch};
 pub use style::{dtal, FontStyle, LineAttrs, TextAttr};

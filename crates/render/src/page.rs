@@ -35,15 +35,56 @@ pub struct PageSigs {
     pub line_types: Vec<u8>,
 }
 
+/// Reusable buffers for building [`PageSigs`] (DESIGN.md §13): internal
+/// traversal state plus the signature vectors themselves, which
+/// [`SigScratch::recycle`] takes back from a consumed page so steady-state
+/// serving re-fills them instead of reallocating.
+#[derive(Default)]
+pub struct SigScratch {
+    first_viewable: Vec<Option<NodeId>>,
+    stack: Vec<(NodeId, bool)>,
+    labels: Vec<Symbol>,
+    chains: Vec<[Symbol; 3]>,
+    spans: Vec<(u32, u32)>,
+    line_types: Vec<u8>,
+}
+
+impl SigScratch {
+    pub fn new() -> SigScratch {
+        SigScratch::default()
+    }
+
+    /// Take back the vectors inside a consumed [`PageSigs`]. Returns the
+    /// label table so the caller can hand it to the parse-side scratch
+    /// (labels are produced by the serving parser, not by this module).
+    pub fn recycle(&mut self, sigs: PageSigs) -> Vec<Symbol> {
+        self.chains = sigs.chains;
+        self.spans = sigs.spans;
+        self.line_types = sigs.line_types;
+        sigs.labels
+    }
+}
+
 impl PageSigs {
     /// The sentinel span of a node covering no content line.
     pub const NO_SPAN: (u32, u32) = (u32::MAX, 0);
 
     /// Compute all signatures for a rendered page. `O(nodes + lines)`.
     pub fn build(dom: &Dom, lines: &[ContentLine]) -> PageSigs {
+        let mut scratch = SigScratch::default();
+        let labels = Self::compute_labels(dom, &mut scratch);
+        Self::build_with_labels(dom, lines, labels, &mut scratch)
+    }
+
+    /// The per-node start-chain label table (see [`PageSigs::labels`]).
+    /// The serving parser produces an identical table during tree
+    /// construction; this is the from-scratch equivalent.
+    fn compute_labels(dom: &Dom, scratch: &mut SigScratch) -> Vec<Symbol> {
         let n = dom.len();
         let text_sym = intern::intern(intern::TEXT_LABEL);
-        let mut labels = vec![Symbol::NONE; n];
+        let mut labels = std::mem::take(&mut scratch.labels);
+        labels.clear();
+        labels.resize(n, Symbol::NONE);
         // mse:hot begin(sig-labels)
         for (id, label) in labels.iter_mut().enumerate() {
             // mse:allow(index): id < dom.len() by construction
@@ -54,14 +95,33 @@ impl PageSigs {
             };
         }
         // mse:hot end(sig-labels)
+        labels
+    }
+
+    /// [`PageSigs::build`] with a precomputed label table (the serving
+    /// parser tracks labels during tree construction) and reusable
+    /// buffers. `labels[n]` must follow the exact rule of
+    /// [`PageSigs::labels`]; debug builds assert table length.
+    pub fn build_with_labels(
+        dom: &Dom,
+        lines: &[ContentLine],
+        labels: Vec<Symbol>,
+        scratch: &mut SigScratch,
+    ) -> PageSigs {
+        let n = dom.len();
+        debug_assert_eq!(labels.len(), n);
         // First viewable child per node (the next link of a start chain).
-        let first_viewable: Vec<Option<NodeId>> = (0..n)
-            .map(|id| {
-                dom.children(NodeId(id as u32))
-                    .find(|&c| labels[c.index()] != Symbol::NONE)
-            })
-            .collect();
-        let mut chains = vec![[Symbol::NONE; 3]; n];
+        let first_viewable = &mut scratch.first_viewable;
+        first_viewable.clear();
+        first_viewable.resize(n, None);
+        for (id, slot) in first_viewable.iter_mut().enumerate() {
+            *slot = dom
+                .children(NodeId(id as u32))
+                .find(|&c| labels.get(c.index()).is_some_and(|&l| l != Symbol::NONE));
+        }
+        let mut chains = std::mem::take(&mut scratch.chains);
+        chains.clear();
+        chains.resize(n, [Symbol::NONE; 3]);
         // mse:hot begin(sig-chains)
         for (id, chain) in chains.iter_mut().enumerate() {
             let mut cur = Some(NodeId(id as u32));
@@ -75,7 +135,9 @@ impl PageSigs {
         }
         // mse:hot end(sig-chains)
         // Leaf lines, then one post-order pass lifting spans to ancestors.
-        let mut spans = vec![Self::NO_SPAN; n];
+        let mut spans = std::mem::take(&mut scratch.spans);
+        spans.clear();
+        spans.resize(n, Self::NO_SPAN);
         // mse:hot begin(sig-span-lift)
         for (idx, line) in lines.iter().enumerate() {
             for &leaf in &line.leaves {
@@ -88,9 +150,10 @@ impl PageSigs {
         // Iterative post-order: a node pops after all its descendants have
         // merged into it, then merges itself into its parent. (Iterative,
         // not recursive: adversarially deep DOMs must not grow the call
-        // stack — the traversal stack below is one bounded allocation.)
-        // mse:allow(alloc): one traversal stack allocation per page
-        let mut stack: Vec<(NodeId, bool)> = vec![(dom.root(), false)];
+        // stack — the traversal stack lives in the reusable scratch.)
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push((dom.root(), false));
         while let Some((node, processed)) = stack.pop() {
             if processed {
                 // mse:allow(index): node/parent are nodes of this DOM
@@ -110,7 +173,9 @@ impl PageSigs {
             }
         }
         // mse:hot end(sig-span-lift)
-        let line_types = lines.iter().map(|l| l.ltype.code()).collect();
+        let mut line_types = std::mem::take(&mut scratch.line_types);
+        line_types.clear();
+        line_types.extend(lines.iter().map(|l| l.ltype.code()));
         PageSigs {
             labels,
             chains,
@@ -147,6 +212,19 @@ impl RenderedPage {
         RenderedPage { dom, lines, sigs }
     }
 
+    /// Fused-ingest assembly: signatures are built from the label table the
+    /// serving parser tracked during tree construction, with buffers drawn
+    /// from `scratch`. Produces a page identical to [`RenderedPage::assemble`].
+    pub fn assemble_fused(
+        dom: Dom,
+        lines: Vec<ContentLine>,
+        labels: Vec<Symbol>,
+        scratch: &mut SigScratch,
+    ) -> RenderedPage {
+        let sigs = PageSigs::build_with_labels(&dom, &lines, labels, scratch);
+        RenderedPage { dom, lines, sigs }
+    }
+
     /// Parse + render HTML source.
     pub fn from_html(html: &str) -> RenderedPage {
         let dom = mse_dom::parse(html);
@@ -180,7 +258,7 @@ fn is_viewable_leaf(dom: &Dom, n: NodeId) -> bool {
     match &dom[n].kind {
         NodeKind::Text(t) => !t.trim().is_empty(),
         NodeKind::Element { tag, .. } => matches!(
-            tag.as_str(),
+            *tag,
             "img" | "input" | "select" | "textarea" | "button" | "hr"
         ),
         _ => false,

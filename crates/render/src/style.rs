@@ -9,7 +9,8 @@
 
 use mse_dom::NodeData;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Font style flags. Ordered so `TextAttr` can live in a `BTreeSet`.
 #[derive(
@@ -20,32 +21,231 @@ pub struct FontStyle {
     pub italic: bool,
 }
 
+/// A shared style string (font family / color name).
+///
+/// The layout cascade copies a [`TextAttr`] for every element it enters and
+/// every content line it closes; with plain `String` fields those copies
+/// dominated the render pass's heap traffic. `StyleStr` is an `Arc<str>`,
+/// so a clone is a refcount bump — while comparison, ordering, hashing and
+/// serialization all go through the string content, keeping set semantics,
+/// `dtal` and the persisted wrapper JSON identical to the owned-`String`
+/// representation.
+#[derive(Clone, Debug)]
+pub struct StyleStr(Arc<str>);
+
+impl StyleStr {
+    pub fn new(s: &str) -> StyleStr {
+        StyleStr(Arc::from(s))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for StyleStr {
+    fn from(s: &str) -> StyleStr {
+        StyleStr::new(s)
+    }
+}
+
+impl From<String> for StyleStr {
+    fn from(s: String) -> StyleStr {
+        StyleStr(Arc::from(s))
+    }
+}
+
+impl PartialEq for StyleStr {
+    fn eq(&self, other: &StyleStr) -> bool {
+        // Pointer fast path: shared defaults hit this on every compare.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for StyleStr {}
+
+impl PartialEq<&str> for StyleStr {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<str> for StyleStr {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialOrd for StyleStr {
+    fn partial_cmp(&self, other: &StyleStr) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for StyleStr {
+    fn cmp(&self, other: &StyleStr) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for StyleStr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl std::fmt::Display for StyleStr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Serialize for StyleStr {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.0.to_string())
+    }
+}
+
+impl Deserialize for StyleStr {
+    fn from_value(v: &serde::Value) -> Result<StyleStr, serde::Error> {
+        match v {
+            serde::Value::Str(s) => Ok(StyleStr::new(s)),
+            _ => Err(serde::Error::msg("expected string for StyleStr")),
+        }
+    }
+}
+
+/// Shared instances of the style strings the cascade itself introduces, so
+/// entering `<a href>`/`<tt>`/default contexts never allocates.
+fn shared(cell: &'static OnceLock<StyleStr>, s: &str) -> StyleStr {
+    cell.get_or_init(|| StyleStr::new(s)).clone()
+}
+
+fn default_font() -> StyleStr {
+    static S: OnceLock<StyleStr> = OnceLock::new();
+    shared(&S, "times")
+}
+
+fn default_color() -> StyleStr {
+    static S: OnceLock<StyleStr> = OnceLock::new();
+    shared(&S, "black")
+}
+
+fn link_color() -> StyleStr {
+    static S: OnceLock<StyleStr> = OnceLock::new();
+    shared(&S, "blue")
+}
+
+fn mono_font() -> StyleStr {
+    static S: OnceLock<StyleStr> = OnceLock::new();
+    shared(&S, "courier")
+}
+
 /// The paper's text attribute quaternion ⟨f, w, s, c⟩.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TextAttr {
     /// Font family, lower-cased first family name.
-    pub font: String,
+    pub font: StyleStr,
     /// HTML font size 1–7 (3 is the default).
     pub size: u8,
     pub style: FontStyle,
     /// Color keyword or `#rrggbb`, lower-cased.
-    pub color: String,
+    pub color: StyleStr,
 }
 
 impl Default for TextAttr {
     fn default() -> Self {
         TextAttr {
-            font: "times".into(),
+            font: default_font(),
             size: 3,
             style: FontStyle::default(),
-            color: "black".into(),
+            color: default_color(),
         }
     }
 }
 
 /// The set of text attributes appearing on one content line — the paper's
 /// *line text attribute* `la`.
-pub type LineAttrs = BTreeSet<TextAttr>;
+///
+/// A sorted-`Vec` set rather than a `BTreeSet`: line sets hold one or two
+/// entries, and a `Vec` keeps its capacity through `clear`, so the layout
+/// donor pool recycles the storage instead of re-allocating a tree node on
+/// every line (a `BTreeSet` frees its node on `clear` unconditionally).
+/// Iteration order, equality and the serialized form (a sorted sequence)
+/// are identical to the `BTreeSet<TextAttr>` this replaces.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAttrs(Vec<TextAttr>);
+
+impl LineAttrs {
+    pub fn new() -> LineAttrs {
+        LineAttrs(Vec::new())
+    }
+
+    /// Insert `a`, keeping the backing vector sorted and duplicate-free.
+    /// Returns whether the set changed (the `BTreeSet::insert` contract).
+    pub fn insert(&mut self, a: TextAttr) -> bool {
+        match self.0.binary_search(&a) {
+            Ok(_) => false,
+            Err(i) => {
+                self.0.insert(i, a);
+                true
+            }
+        }
+    }
+
+    pub fn contains(&self, a: &TextAttr) -> bool {
+        self.0.binary_search(a).is_ok()
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, TextAttr> {
+        self.0.iter()
+    }
+
+    /// Empty the set, keeping the backing vector's capacity.
+    pub fn clear(&mut self) {
+        self.0.clear()
+    }
+}
+
+impl<'a> IntoIterator for &'a LineAttrs {
+    type Item = &'a TextAttr;
+    type IntoIter = std::slice::Iter<'a, TextAttr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl FromIterator<TextAttr> for LineAttrs {
+    fn from_iter<I: IntoIterator<Item = TextAttr>>(iter: I) -> LineAttrs {
+        let mut out = LineAttrs::new();
+        for a in iter {
+            out.insert(a);
+        }
+        out
+    }
+}
+
+impl Serialize for LineAttrs {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for LineAttrs {
+    fn from_value(v: &serde::Value) -> Result<LineAttrs, serde::Error> {
+        let items = Vec::<TextAttr>::from_value(v)?;
+        // Re-establish the sorted-set invariant whatever the input order.
+        Ok(items.into_iter().collect())
+    }
+}
 
 /// Line text attribute distance `Dtal` (paper Formula 2):
 /// `1 − |la1 ∩ la2| / max(|la1|, |la2|)`.
@@ -54,7 +254,20 @@ pub fn dtal(la1: &LineAttrs, la2: &LineAttrs) -> f64 {
     if m == 0 {
         return 0.0;
     }
-    let inter = la1.intersection(la2).count();
+    // Sorted-merge intersection count over the two sorted backing vectors.
+    let (a, b) = (&la1.0, &la2.0);
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
     1.0 - inter as f64 / m as f64
 }
 
@@ -96,9 +309,9 @@ impl TextAttr {
             "big" => out.size = (out.size + 1).min(7),
             "small" => out.size = out.size.saturating_sub(1).max(1),
             "a" if element.attr("href").is_some() => {
-                out.color = "blue".into();
+                out.color = link_color();
             }
-            "tt" | "code" | "pre" | "kbd" | "samp" => out.font = "courier".into(),
+            "tt" | "code" | "pre" | "kbd" | "samp" => out.font = mono_font(),
             "font" => {
                 if let Some(c) = element.attr("color") {
                     out.color = normalize_color(c);
@@ -132,17 +345,53 @@ fn parse_font_size(s: &str, current: u8) -> u8 {
     v.clamp(1, 7) as u8
 }
 
-fn first_family(f: &str) -> String {
-    f.split(',')
-        .next()
-        .unwrap_or(f)
-        .trim()
-        .trim_matches(['"', '\''])
-        .to_ascii_lowercase()
+/// Per-thread memo for normalized style values: result pages repeat a
+/// handful of presentational colors/faces thousands of times, so the
+/// trim/lowercase/first-family work (and its allocations) runs once per
+/// distinct raw value instead of once per element. Capped and cleared so
+/// adversarial pages with unbounded distinct values cannot grow it.
+const STYLE_CACHE_CAP: usize = 256;
+
+fn cached_style(
+    cache: &'static std::thread::LocalKey<std::cell::RefCell<HashMap<Box<str>, StyleStr>>>,
+    raw: &str,
+    normalize: fn(&str) -> StyleStr,
+) -> StyleStr {
+    cache.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some(v) = c.get(raw) {
+            return v.clone();
+        }
+        let v = normalize(raw);
+        if c.len() >= STYLE_CACHE_CAP {
+            c.clear();
+        }
+        c.insert(raw.into(), v.clone());
+        v
+    })
 }
 
-fn normalize_color(c: &str) -> String {
-    c.trim().to_ascii_lowercase()
+thread_local! {
+    static COLOR_CACHE: std::cell::RefCell<HashMap<Box<str>, StyleStr>> =
+        std::cell::RefCell::new(HashMap::new());
+    static FAMILY_CACHE: std::cell::RefCell<HashMap<Box<str>, StyleStr>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+fn first_family(f: &str) -> StyleStr {
+    cached_style(&FAMILY_CACHE, f, |f| {
+        f.split(',')
+            .next()
+            .unwrap_or(f)
+            .trim()
+            .trim_matches(['"', '\''])
+            .to_ascii_lowercase()
+            .into()
+    })
+}
+
+fn normalize_color(c: &str) -> StyleStr {
+    cached_style(&COLOR_CACHE, c, |c| c.trim().to_ascii_lowercase().into())
 }
 
 /// Map a CSS font-size to the 1–7 HTML scale.
@@ -175,29 +424,29 @@ fn css_font_size(v: &str, current: u8) -> u8 {
 }
 
 /// Honor the font-related subset of an inline `style=""` attribute.
+/// Property names are matched case-insensitively in place (no lowercased
+/// copies — this runs for every styled element the layouter enters).
 fn apply_inline_style(attr: &mut TextAttr, style: &str) {
     for decl in style.split(';') {
         let mut parts = decl.splitn(2, ':');
-        let prop = parts.next().unwrap_or("").trim().to_ascii_lowercase();
+        let prop = parts.next().unwrap_or("").trim();
         let val = parts.next().unwrap_or("").trim();
         if val.is_empty() {
             continue;
         }
-        match prop.as_str() {
-            "color" => attr.color = normalize_color(val),
-            "font-family" => attr.font = first_family(val),
-            "font-size" => attr.size = css_font_size(val, attr.size),
-            "font-weight" => {
-                let v = val.to_ascii_lowercase();
-                attr.style.bold = v == "bold"
-                    || v == "bolder"
-                    || v.parse::<u32>().map(|n| n >= 600).unwrap_or(false);
-            }
-            "font-style" => {
-                attr.style.italic =
-                    val.eq_ignore_ascii_case("italic") || val.eq_ignore_ascii_case("oblique");
-            }
-            _ => {}
+        if prop.eq_ignore_ascii_case("color") {
+            attr.color = normalize_color(val);
+        } else if prop.eq_ignore_ascii_case("font-family") {
+            attr.font = first_family(val);
+        } else if prop.eq_ignore_ascii_case("font-size") {
+            attr.size = css_font_size(val, attr.size);
+        } else if prop.eq_ignore_ascii_case("font-weight") {
+            attr.style.bold = val.eq_ignore_ascii_case("bold")
+                || val.eq_ignore_ascii_case("bolder")
+                || val.parse::<u32>().map(|n| n >= 600).unwrap_or(false);
+        } else if prop.eq_ignore_ascii_case("font-style") {
+            attr.style.italic =
+                val.eq_ignore_ascii_case("italic") || val.eq_ignore_ascii_case("oblique");
         }
     }
 }

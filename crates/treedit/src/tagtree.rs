@@ -43,7 +43,7 @@ impl TagTree {
 
     fn build_capped(&mut self, dom: &Dom, node: NodeId, depth: usize) -> usize {
         let label = match &dom[node].kind {
-            NodeKind::Element { tag, .. } => tag.clone(),
+            NodeKind::Element { tag, .. } => tag.to_string(),
             NodeKind::Text(_) => "#text".to_string(),
             _ => "#doc".to_string(),
         };

@@ -29,4 +29,4 @@ pub mod verify;
 
 pub use report::{Finding, Report, Severity};
 pub use rules::{lint_source, LintOptions};
-pub use verify::{preserve_gate, verify, verify_compiled};
+pub use verify::{preserve_gate, promotion_gate, verify, verify_compiled};

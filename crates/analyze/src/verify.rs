@@ -136,6 +136,22 @@ pub fn preserve_gate(set: &SectionWrapperSet) -> Result<Report, BuildError> {
     Ok(report)
 }
 
+/// The promotion gate for shadow-relearned candidates: verify the set
+/// (portable + compiled form) and reject on any error-level finding.
+/// Unlike [`preserve_gate`] this is *always* strict — a candidate that
+/// fails static verification must never replace a serving wrapper set,
+/// whatever the operator's `strict_verify` preference for normal serving.
+/// Shaped to slot into [`mse_core::shadow_relearn`]'s gate closure:
+/// `|ws| promotion_gate(ws).map(|_| ())`.
+pub fn promotion_gate(set: &SectionWrapperSet) -> Result<Report, String> {
+    let compiled = set.compile();
+    let report = verify_compiled(&compiled);
+    if report.has_errors() {
+        return Err(report.error_summary());
+    }
+    Ok(report)
+}
+
 fn check_symbol(sym: Symbol, target: &str, what: &str, report: &mut Report) {
     if intern::resolve(sym).is_none() {
         report.error(

@@ -116,6 +116,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("extract") => cmd_extract(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("drift") => cmd_drift(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => Ok(usage()),
         Some(other) => err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -131,11 +133,24 @@ pub fn usage() -> String {
      \x20 mse extract --wrapper WRAPPER.json [--threads N] [--json] PAGE...\n\
      \x20 mse eval    [--small] [--seed N] [--threads N]\n\
      \x20 mse lint    [--deny-warnings] WRAPPER.json...\n\
+     \x20 mse drift   --wrapper WRAPPER.json [--window N] [--json]\n\
+     \x20             [--store DIR --engine NAME --relearn [--note S]] PAGE[:QUERY]...\n\
+     \x20 mse store   list     --store DIR [--engine NAME]\n\
+     \x20 mse store   show     --store DIR --engine NAME [--version N]\n\
+     \x20 mse store   save     --store DIR --engine NAME --wrapper W.json [--note S]\n\
+     \x20 mse store   promote  --store DIR --engine NAME --version N\n\
+     \x20 mse store   rollback --store DIR --engine NAME\n\
      \n\
      `lint` prints a JSON report of static-verification findings per\n\
      wrapper file and exits 65 when any error-level finding exists\n\
      (with --deny-warnings, when any finding exists at all).\n\
-     `extract --strict` refuses wrapper sets with error-level findings.\n"
+     `extract --strict` refuses wrapper sets with error-level findings.\n\
+     `drift` replays pages through the wrapper set's rolling drift\n\
+     detector and reports the Stable/Degrading/Broken verdict; with\n\
+     --relearn it shadow re-learns on a non-Stable verdict and promotes\n\
+     into the store only when the candidate wins the holdout comparison.\n\
+     `store` manages the versioned wrapper registry (provenance-tracked\n\
+     versions, atomic promote, parent-chain rollback).\n"
         .to_string()
 }
 
@@ -153,7 +168,7 @@ fn parse_opts(args: &[String]) -> Result<ParsedArgs, CliError> {
             // boolean flags
             if matches!(
                 name,
-                "small" | "annotate" | "json" | "legacy" | "strict" | "deny-warnings"
+                "small" | "annotate" | "json" | "legacy" | "strict" | "deny-warnings" | "relearn"
             ) {
                 opts.push((name.to_string(), "true".to_string()));
                 i += 1;
@@ -225,16 +240,10 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     Ok(report)
 }
 
-fn cmd_build(args: &[String]) -> Result<String, CliError> {
-    let (opts, pos) = parse_opts(args)?;
-    let Some(out) = opt(&opts, "out") else {
-        return err("build requires --out WRAPPER.json");
-    };
-    if pos.len() < 2 {
-        return err("build needs at least 2 sample pages (PAGE[:QUERY]...)");
-    }
-    let mut samples: Vec<(String, Option<String>)> = Vec::new();
-    for spec in &pos {
+/// Read `PAGE[:QUERY]` arguments into (html, query) pairs.
+fn read_page_specs(specs: &[String]) -> Result<Vec<(String, Option<String>)>, CliError> {
+    let mut pages = Vec::new();
+    for spec in specs {
         let (path, query) = match spec.rsplit_once(':') {
             // Windows-style "C:\..." false positives are not a concern here;
             // a query never contains a path separator.
@@ -245,8 +254,20 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
         };
         let html = fs::read_to_string(path)
             .map_err(|e| CliError::no_input(format!("cannot read {path}: {e}")))?;
-        samples.push((html, query));
+        pages.push((html, query));
     }
+    Ok(pages)
+}
+
+fn cmd_build(args: &[String]) -> Result<String, CliError> {
+    let (opts, pos) = parse_opts(args)?;
+    let Some(out) = opt(&opts, "out") else {
+        return err("build requires --out WRAPPER.json");
+    };
+    if pos.len() < 2 {
+        return err("build needs at least 2 sample pages (PAGE[:QUERY]...)");
+    }
+    let samples = read_page_specs(&pos)?;
     let refs: Vec<(&str, Option<&str>)> = samples
         .iter()
         .map(|(h, q)| (h.as_str(), q.as_deref()))
@@ -453,6 +474,255 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
         Err(CliError::data(json))
     } else {
         Ok(json)
+    }
+}
+
+/// Map store failures onto the CLI's sysexits scheme.
+fn store_err(e: mse_store::StoreError) -> CliError {
+    use mse_store::StoreError as E;
+    match e {
+        E::Io(_) => CliError::cant_create(e.to_string()),
+        E::InvalidEngine(_) => CliError::usage(e.to_string()),
+        _ => CliError::data(e.to_string()),
+    }
+}
+
+/// JSON shape of one `mse drift` run.
+#[derive(serde::Serialize)]
+struct DriftReport {
+    verdicts: Vec<mse_core::DriftVerdict>,
+    counters: mse_core::DriftCounters,
+    verdict: mse_core::DriftVerdict,
+    relearn: Option<DriftRelearn>,
+}
+
+#[derive(serde::Serialize)]
+struct DriftRelearn {
+    old_score: mse_core::HoldoutScore,
+    new_score: mse_core::HoldoutScore,
+    promoted_version: Option<u32>,
+}
+
+/// `mse drift` — replay fetched pages through a wrapper set's rolling
+/// drift detector (extraction diagnostics only, no truth labels) and
+/// report the lifecycle verdict. With `--relearn --store --engine`, a
+/// non-Stable verdict triggers a shadow re-learn from the replayed ring;
+/// the candidate is verification-gated and promoted into the store only
+/// when it strictly wins the holdout comparison.
+fn cmd_drift(args: &[String]) -> Result<String, CliError> {
+    let (opts, pos) = parse_opts(args)?;
+    let Some(wrapper_path) = opt(&opts, "wrapper") else {
+        return err("drift requires --wrapper WRAPPER.json");
+    };
+    if pos.is_empty() {
+        return err("drift needs at least one PAGE[:QUERY] argument");
+    }
+    let relearn = opt(&opts, "relearn").is_some();
+    if relearn && (opt(&opts, "store").is_none() || opt(&opts, "engine").is_none()) {
+        return err("drift --relearn requires --store DIR and --engine NAME");
+    }
+    let ws: SectionWrapperSet = serde_json::from_str(
+        &fs::read_to_string(wrapper_path)
+            .map_err(|e| CliError::no_input(format!("cannot read {wrapper_path}: {e}")))?,
+    )
+    .map_err(|e| CliError::data(format!("bad wrapper file: {e}")))?;
+    let mut thresholds = ws.cfg.drift;
+    if let Some(w) = opt(&opts, "window") {
+        thresholds.window = w.parse().map_err(|_| CliError::usage("bad --window"))?;
+        thresholds.min_observations = thresholds.min_observations.min(thresholds.window);
+        thresholds
+            .validate()
+            .map_err(|e| CliError::usage(format!("bad --window: {e}")))?;
+    }
+    let pages = read_page_specs(&pos)?;
+    let mut tracker = mse_core::DriftTracker::new(thresholds);
+    let mut verdicts = Vec::with_capacity(pages.len());
+    for (html, query) in &pages {
+        let ex = ws.extract_with_query(html, query.as_deref());
+        verdicts.push(tracker.observe(&ws, html, query.as_deref(), &ex));
+    }
+    let verdict = tracker.verdict();
+    let counters = tracker.counters();
+
+    let mut relearn_result = None;
+    if relearn && verdict > mse_core::DriftVerdict::Stable {
+        // Flag presence is checked above; missing values were rejected.
+        let store_dir = opt(&opts, "store").unwrap_or_default();
+        let engine = opt(&opts, "engine").unwrap_or_default();
+        let store = mse_store::Store::open(store_dir).map_err(store_err)?;
+        let note = opt(&opts, "note").unwrap_or("mse drift --relearn");
+        let ring = tracker.recent_pages();
+        let outcome = mse_store::relearn_into_store(&store, engine, &ws, &ring, note)
+            .map_err(|e| CliError::data(format!("shadow re-learn failed: {e}")))?;
+        relearn_result = Some(DriftRelearn {
+            old_score: outcome.relearn.old_score,
+            new_score: outcome.relearn.new_score,
+            promoted_version: outcome.saved_version,
+        });
+    }
+
+    if opt(&opts, "json").is_some() {
+        let report = DriftReport {
+            verdicts,
+            counters,
+            verdict,
+            relearn: relearn_result,
+        };
+        return serde_json::to_string_pretty(&report)
+            .map_err(|e| CliError::internal(e.to_string()));
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "observed {} page(s): {} concrete, {} empty, {} family-fallback, {} partial, {} anomalous (window {})",
+        counters.total_pages,
+        counters.concrete_pages,
+        counters.empty_pages,
+        counters.family_fallback_pages,
+        counters.partial_pages,
+        counters.anomalous_pages,
+        counters.window,
+    )
+    .map_err(fmt_err)?;
+    writeln!(out, "verdict: {verdict:?}").map_err(fmt_err)?;
+    match relearn_result {
+        Some(DriftRelearn {
+            old_score,
+            new_score,
+            promoted_version: Some(v),
+        }) => writeln!(
+            out,
+            "shadow re-learn: candidate won holdout ({} vs {} productive pages) — promoted as v{v}",
+            new_score.productive_pages, old_score.productive_pages
+        )
+        .map_err(fmt_err)?,
+        Some(DriftRelearn {
+            old_score,
+            new_score,
+            promoted_version: None,
+        }) => writeln!(
+            out,
+            "shadow re-learn: candidate did not beat incumbent ({} vs {} productive pages) — store unchanged",
+            new_score.productive_pages, old_score.productive_pages
+        )
+        .map_err(fmt_err)?,
+        None if relearn => {
+            writeln!(out, "no re-learn: verdict is Stable").map_err(fmt_err)?
+        }
+        None => {}
+    }
+    Ok(out)
+}
+
+/// `mse store` — manage the versioned wrapper registry.
+fn cmd_store(args: &[String]) -> Result<String, CliError> {
+    let (opts, pos) = parse_opts(args)?;
+    let Some(sub) = pos.first().map(String::as_str) else {
+        return err("store needs a subcommand: list | show | save | promote | rollback");
+    };
+    let Some(store_dir) = opt(&opts, "store") else {
+        return err("store requires --store DIR");
+    };
+    let store = mse_store::Store::open(store_dir).map_err(store_err)?;
+    let engine_opt = opt(&opts, "engine");
+    let need_engine =
+        || engine_opt.ok_or_else(|| CliError::usage(format!("store {sub} requires --engine NAME")));
+    match sub {
+        "list" => {
+            let mut out = String::new();
+            let engines = match engine_opt {
+                Some(e) => vec![e.to_string()],
+                None => store.engines().map_err(store_err)?,
+            };
+            if engines.is_empty() {
+                return Ok("store is empty\n".to_string());
+            }
+            for engine in engines {
+                let versions = store.versions(&engine).map_err(store_err)?;
+                let active = store.active_version(&engine).map_err(store_err)?;
+                let rendered: Vec<String> = versions
+                    .iter()
+                    .map(|v| {
+                        if Some(*v) == active {
+                            format!("v{v}*")
+                        } else {
+                            format!("v{v}")
+                        }
+                    })
+                    .collect();
+                writeln!(
+                    out,
+                    "{engine}: {} (* = active)",
+                    if rendered.is_empty() {
+                        "no versions".to_string()
+                    } else {
+                        rendered.join(" ")
+                    }
+                )
+                .map_err(fmt_err)?;
+            }
+            Ok(out)
+        }
+        "show" => {
+            let engine = need_engine()?;
+            let version = match opt(&opts, "version") {
+                Some(v) => v.parse().map_err(|_| CliError::usage("bad --version"))?,
+                None => store
+                    .active_version(engine)
+                    .map_err(store_err)?
+                    .ok_or_else(|| {
+                        CliError::data(format!("engine {engine} has no active version"))
+                    })?,
+            };
+            let (_, record) = store.load(engine, version).map_err(store_err)?;
+            let mut json = serde_json::to_string_pretty(&record.provenance)
+                .map_err(|e| CliError::internal(e.to_string()))?;
+            json.push('\n');
+            Ok(json)
+        }
+        "save" => {
+            let engine = need_engine()?;
+            let Some(wrapper_path) = opt(&opts, "wrapper") else {
+                return err("store save requires --wrapper WRAPPER.json");
+            };
+            let ws: SectionWrapperSet = serde_json::from_str(
+                &fs::read_to_string(wrapper_path)
+                    .map_err(|e| CliError::no_input(format!("cannot read {wrapper_path}: {e}")))?,
+            )
+            .map_err(|e| CliError::data(format!("bad wrapper file: {e}")))?;
+            let no_samples: [&str; 0] = [];
+            let mut provenance = mse_store::Provenance::from_samples(
+                &no_samples,
+                &ws.cfg,
+                opt(&opts, "note").unwrap_or("mse store save"),
+            );
+            provenance.parent = match store.active_version(engine) {
+                Ok(active) => active,
+                Err(mse_store::StoreError::NoSuchEngine(_)) => None,
+                Err(e) => return Err(store_err(e)),
+            };
+            let v = store.save(engine, &ws, provenance).map_err(store_err)?;
+            Ok(format!(
+                "saved {engine} v{v} (not active; promote to serve)\n"
+            ))
+        }
+        "promote" => {
+            let engine = need_engine()?;
+            let version: u32 = opt(&opts, "version")
+                .ok_or_else(|| CliError::usage("store promote requires --version N"))?
+                .parse()
+                .map_err(|_| CliError::usage("bad --version"))?;
+            store.promote(engine, version).map_err(store_err)?;
+            Ok(format!("{engine}: v{version} is now active\n"))
+        }
+        "rollback" => {
+            let engine = need_engine()?;
+            let v = store.rollback(engine).map_err(store_err)?;
+            Ok(format!("{engine}: rolled back, v{v} is now active\n"))
+        }
+        other => err(format!(
+            "unknown store subcommand {other:?} (list | show | save | promote | rollback)"
+        )),
     }
 }
 
@@ -676,5 +946,162 @@ mod tests {
         .unwrap_err();
         assert_eq!(e.code, 65, "{e}");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// gen + build a wrapper for engine 4 into `dir`; returns the wrapper
+    /// path. Shared by the store/drift round-trip tests.
+    fn gen_and_build(dir_s: &str, pages: usize) -> String {
+        run(&s(&[
+            "gen",
+            "--seed",
+            "2006",
+            "--engine",
+            "4",
+            "--pages",
+            &pages.to_string(),
+            "--out",
+            dir_s,
+        ]))
+        .expect("gen");
+        let queries = mse_testbed::words::QUERIES;
+        let wpath = format!("{dir_s}/wrapper.json");
+        let mut args = s(&["build", "--out"]);
+        args.push(wpath.clone());
+        for (q, query) in queries.iter().enumerate().take(5) {
+            args.push(format!("{dir_s}/page{q}.html:{query}"));
+        }
+        run(&args).expect("build");
+        wpath
+    }
+
+    #[test]
+    fn store_save_promote_rollback_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mse-cli-store-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_string();
+        let wpath = gen_and_build(&dir_s, 6);
+        let store_dir = format!("{dir_s}/store");
+
+        // save v1 and promote it
+        let out = run(&s(&[
+            "store",
+            "save",
+            "--store",
+            &store_dir,
+            "--engine",
+            "engine4",
+            "--wrapper",
+            &wpath,
+            "--note",
+            "initial build",
+        ]))
+        .expect("store save");
+        assert!(out.contains("saved engine4 v1"), "{out}");
+        run(&s(&[
+            "store",
+            "promote",
+            "--store",
+            &store_dir,
+            "--engine",
+            "engine4",
+            "--version",
+            "1",
+        ]))
+        .expect("store promote");
+        // save v2 (parent = active v1) and promote
+        run(&s(&[
+            "store",
+            "save",
+            "--store",
+            &store_dir,
+            "--engine",
+            "engine4",
+            "--wrapper",
+            &wpath,
+        ]))
+        .expect("store save v2");
+        run(&s(&[
+            "store",
+            "promote",
+            "--store",
+            &store_dir,
+            "--engine",
+            "engine4",
+            "--version",
+            "2",
+        ]))
+        .expect("promote v2");
+        let out = run(&s(&["store", "list", "--store", &store_dir])).expect("list");
+        assert!(out.contains("engine4: v1 v2*"), "{out}");
+        // show reports provenance of the active version
+        let out = run(&s(&[
+            "store", "show", "--store", &store_dir, "--engine", "engine4",
+        ]))
+        .expect("show");
+        assert!(out.contains("\"parent\": 1"), "{out}");
+        // rollback returns to v1
+        let out = run(&s(&[
+            "store", "rollback", "--store", &store_dir, "--engine", "engine4",
+        ]))
+        .expect("rollback");
+        assert!(out.contains("v1 is now active"), "{out}");
+        let out = run(&s(&["store", "list", "--store", &store_dir])).expect("list");
+        assert!(out.contains("engine4: v1* v2"), "{out}");
+        // a second rollback has no parent to follow
+        let e = run(&s(&[
+            "store", "rollback", "--store", &store_dir, "--engine", "engine4",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, 65, "{e}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_usage_errors() {
+        let e = run(&s(&["store"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        let e = run(&s(&["store", "list"])).unwrap_err();
+        assert_eq!(e.code, 2, "{e}");
+        let e = run(&s(&["store", "frobnicate", "--store", "/tmp/x"])).unwrap_err();
+        assert_eq!(e.code, 2, "{e}");
+    }
+
+    #[test]
+    fn drift_stable_on_same_template_broken_on_redesign() {
+        let dir = std::env::temp_dir().join(format!("mse-cli-drift-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_string();
+        let wpath = gen_and_build(&dir_s, 17);
+        let queries = mse_testbed::words::QUERIES;
+        // Held-out pages of the SAME engine: Stable.
+        let mut args = s(&["drift", "--wrapper", &wpath, "--window", "12", "--json"]);
+        for q in 5..17 {
+            args.push(format!(
+                "{dir_s}/page{q}.html:{}",
+                queries[q % queries.len()]
+            ));
+        }
+        let out = run(&args).expect("drift same-template");
+        assert!(out.contains("\"verdict\": \"Stable\""), "{out}");
+        // Pages from a DIFFERENT engine (a stand-in for a full redesign):
+        // the wrapper misses everywhere, verdict Broken.
+        let other_dir = format!("{dir_s}/other");
+        run(&s(&[
+            "gen", "--seed", "2006", "--engine", "7", "--pages", "12", "--out", &other_dir,
+        ]))
+        .expect("gen other");
+        let mut args = s(&["drift", "--wrapper", &wpath, "--window", "12"]);
+        for q in 0..12 {
+            args.push(format!("{other_dir}/page{q}.html"));
+        }
+        let out = run(&args).expect("drift redesign");
+        assert!(out.contains("verdict: Broken"), "{out}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drift_usage_errors() {
+        let e = run(&s(&["drift", "p.html"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        let e = run(&s(&["drift", "--wrapper", "w.json", "--relearn", "p.html"])).unwrap_err();
+        assert_eq!(e.code, 2, "{e}");
     }
 }

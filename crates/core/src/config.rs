@@ -210,6 +210,11 @@ pub struct MseConfig {
     /// still deserialize (fast ingest on).
     #[serde(default)]
     pub legacy_ingest: bool,
+    /// Thresholds for the rolling drift verdict and the shadow re-learn
+    /// ring (see [`crate::maintenance`]). `#[serde(default)]` so configs
+    /// saved before the lifecycle existed still deserialize.
+    #[serde(default)]
+    pub drift: crate::maintenance::DriftThresholds,
 }
 
 impl Default for MseConfig {
@@ -239,6 +244,7 @@ impl Default for MseConfig {
             budget: ResourceBudget::default(),
             strict_verify: false,
             legacy_ingest: false,
+            drift: crate::maintenance::DriftThresholds::default(),
         }
     }
 }
@@ -278,6 +284,7 @@ impl MseConfig {
             return Err("min_pattern_repeat must be at least 2".into());
         }
         self.budget.validate()?;
+        self.drift.validate()?;
         Ok(())
     }
 

@@ -83,7 +83,10 @@ pub use error::{Diagnostic, ExtractError, MseError, Stage};
 pub use family::FamilyWrapper;
 pub use features::{Features, Rec};
 pub use ingest::IngestScratch;
-pub use maintenance::{HealthReport, WrapperStatus};
+pub use maintenance::{
+    score_on_holdout, shadow_relearn, DriftCounters, DriftThresholds, DriftTracker, DriftVerdict,
+    HealthReport, HoldoutScore, RelearnError, RelearnOutcome, WrapperStatus,
+};
 pub use page::Page;
 pub use pipeline::{
     analyze_pages, BuildError, ExtractedRecord, ExtractedSection, Extraction, Mse, SchemaId,

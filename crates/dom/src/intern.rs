@@ -259,6 +259,28 @@ pub fn resolve(sym: Symbol) -> Option<&'static str> {
 }
 // mse:hot end(resolve)
 
+/// Snapshot of the interner contents in symbol order (seed vocabulary
+/// included). Because the table is append-only, a snapshot taken at time T
+/// is a prefix of any snapshot taken later in the same process — which is
+/// what lets a persisted wrapper store re-warm a fresh process's interner
+/// by re-interning a saved snapshot in order (see `mse-store`).
+pub fn snapshot() -> Vec<&'static str> {
+    interner()
+        .names
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone()
+}
+
+/// Re-intern a saved [`snapshot`]'s names in order. Idempotent: names
+/// already present keep their symbols (append-only table), so warming is
+/// safe at any point in the process lifetime.
+pub fn warm<S: AsRef<str>>(names: &[S]) {
+    for n in names {
+        intern(n.as_ref());
+    }
+}
+
 /// Number of distinct names interned so far (seed vocabulary included).
 pub fn interned_count() -> usize {
     interner()
@@ -336,6 +358,22 @@ mod tests {
         assert_eq!(lower_inline(&"y".repeat(TAG_BUF + 1), &mut buf), None);
         // Non-ASCII passes through untouched.
         assert_eq!(lower_inline("Dérive", &mut buf), Some("dérive"));
+    }
+
+    #[test]
+    fn snapshot_is_prefix_stable_and_warm_is_idempotent() {
+        let before = snapshot();
+        assert!(before.len() >= SEED_TAGS.len());
+        let sym = intern("snapshot-only-tag");
+        let after = snapshot();
+        assert!(after.len() > before.len());
+        assert_eq!(&after[..before.len()], &before[..], "append-only prefix");
+        assert_eq!(after[sym.0 as usize], "snapshot-only-tag");
+        // Warming with an existing snapshot changes nothing.
+        let count = interned_count();
+        warm(&after);
+        assert_eq!(interned_count(), count);
+        assert_eq!(intern("snapshot-only-tag"), sym);
     }
 
     #[test]

@@ -894,10 +894,13 @@ mod tests {
         assert!(matches!(ev1, Some(Event::Start { name: "p", .. })));
         match lx.next_event() {
             Some(Event::Text(t)) => {
-                // Same backing buffer: pointer-range containment, not a copy.
-                let h = html.as_bytes().as_ptr() as usize;
-                let p = t.as_bytes().as_ptr() as usize;
-                assert!(p >= h && p + t.len() <= h + html.len());
+                // Same backing buffer: pointer-range containment, not a
+                // copy. Compared as pointers (`subslice_range`-style), not
+                // as usizes — pointer→int casts discard provenance and are
+                // flagged under Miri's strict-provenance mode.
+                let outer = html.as_bytes().as_ptr_range();
+                let inner = t.as_bytes().as_ptr_range();
+                assert!(inner.start >= outer.start && inner.end <= outer.end);
                 assert_eq!(t, "plain run");
             }
             other => panic!("expected text event, got {other:?}"),

@@ -1,0 +1,51 @@
+//! # mse-store
+//!
+//! Versioned on-disk wrapper registry: the persistence half of the
+//! wrapper lifecycle (DESIGN.md §14).
+//!
+//! A deployed metasearch engine holds one wrapper set per remote search
+//! engine, and the maintenance loop (`mse-core::maintenance`) replaces
+//! those sets over time — shadow re-learns promote, bad promotions roll
+//! back. This crate gives every such transition a durable, auditable
+//! form:
+//!
+//! * **Versions** — each saved wrapper set gets a monotonically
+//!   increasing version number; files are immutable once written.
+//! * **Provenance** — every version records the FNV-1a hashes of the
+//!   sample pages it was induced from, the full [`MseConfig`] snapshot,
+//!   the [`DriftThresholds`] in force, and the parent version it was
+//!   promoted over — enough to answer "where did this wrapper come
+//!   from and what did it replace".
+//! * **Interner snapshots** — the global tag interner is append-only and
+//!   prefix-stable, so a content-addressed snapshot of its name table
+//!   taken at save time lets a fresh process re-warm the interner before
+//!   compiling, reproducing the exact `Symbol` assignment the set was
+//!   verified under.
+//! * **Atomic activation** — the registry's `active` pointer is flipped
+//!   by a write-to-temp + rename, so a crash mid-promote leaves the old
+//!   version serving.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/interner/<fnv64-hex>.json     content-addressed name tables
+//! <root>/<engine>/registry.json        { active, versions }
+//! <root>/<engine>/v00001.json          { provenance, wrappers }
+//! ```
+//!
+//! [`MseConfig`]: mse_core::MseConfig
+//! [`DriftThresholds`]: mse_core::DriftThresholds
+
+#![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod lifecycle;
+pub mod provenance;
+pub mod registry;
+
+pub use lifecycle::{relearn_into_store, LifecycleError, LifecycleOutcome};
+pub use provenance::{content_hash, hash_hex, Provenance};
+pub use registry::{Store, StoreError, VersionRecord};

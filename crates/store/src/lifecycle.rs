@@ -1,0 +1,188 @@
+//! The wired-up lifecycle step: shadow re-learn → verification gate →
+//! holdout comparison → versioned save → atomic promote.
+
+use crate::provenance::Provenance;
+use crate::registry::{Store, StoreError};
+use mse_core::{shadow_relearn, RelearnError, RelearnOutcome, SectionWrapperSet};
+
+/// Lifecycle failures: either the re-learn itself (too few pages, build
+/// failure, verification rejection) or the store interaction.
+#[derive(Debug)]
+pub enum LifecycleError {
+    Relearn(RelearnError),
+    Store(StoreError),
+}
+
+impl std::fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LifecycleError::Relearn(e) => write!(f, "{e}"),
+            LifecycleError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LifecycleError::Relearn(e) => Some(e),
+            LifecycleError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<RelearnError> for LifecycleError {
+    fn from(e: RelearnError) -> LifecycleError {
+        LifecycleError::Relearn(e)
+    }
+}
+
+impl From<StoreError> for LifecycleError {
+    fn from(e: StoreError) -> LifecycleError {
+        LifecycleError::Store(e)
+    }
+}
+
+/// What one lifecycle step did.
+#[derive(Debug)]
+pub struct LifecycleOutcome {
+    /// The re-learn result (candidate, both holdout scores, promote flag).
+    pub relearn: RelearnOutcome,
+    /// The version the candidate was saved as, when it won the holdout
+    /// comparison; `None` when the incumbent held.
+    pub saved_version: Option<u32>,
+}
+
+/// Run one shadow re-learn round against the store.
+///
+/// Re-induces a candidate from `recent` (oldest first — typically
+/// [`DriftTracker::recent_pages`]), gates it through
+/// [`mse_analyze::promotion_gate`] (always strict), and compares old vs.
+/// new on the holdout split. Only when the candidate *strictly wins* is
+/// it saved as a new version of `engine` — with provenance hashing the
+/// training pages and recording the currently active version as parent —
+/// and atomically promoted. A losing or tying candidate changes nothing
+/// on disk, and `mse store rollback` undoes a promotion that regrets.
+///
+/// [`DriftTracker::recent_pages`]: mse_core::DriftTracker::recent_pages
+pub fn relearn_into_store(
+    store: &Store,
+    engine: &str,
+    old: &SectionWrapperSet,
+    recent: &[(String, Option<String>)],
+    note: &str,
+) -> Result<LifecycleOutcome, LifecycleError> {
+    let relearn = shadow_relearn(old, recent, |ws| {
+        mse_analyze::promotion_gate(ws).map(|_| ())
+    })?;
+    if !relearn.promote {
+        return Ok(LifecycleOutcome {
+            relearn,
+            saved_version: None,
+        });
+    }
+    // Provenance covers the training half of the ring (even indices),
+    // mirroring the split inside shadow_relearn.
+    let train: Vec<&str> = recent.iter().step_by(2).map(|(h, _)| h.as_str()).collect();
+    let mut provenance = Provenance::from_samples(&train, &relearn.candidate.cfg, note);
+    provenance.parent = match store.active_version(engine) {
+        Ok(active) => active,
+        Err(StoreError::NoSuchEngine(_)) => None,
+        Err(e) => return Err(e.into()),
+    };
+    let version = store.save(engine, &relearn.candidate, provenance)?;
+    store.promote(engine, version)?;
+    Ok(LifecycleOutcome {
+        relearn,
+        saved_version: Some(version),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mse_core::{Mse, MseConfig};
+    use mse_testbed::DriftScenario;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir =
+            std::env::temp_dir().join(format!("mse-lifecycle-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn relearn_promotes_into_store_on_redesign() {
+        let scenario = DriftScenario::new(2006, 4, 0, 1);
+        let samples = scenario.sample_pages(5);
+        let refs: Vec<(&str, Option<&str>)> = samples
+            .iter()
+            .map(|p| (p.html.as_str(), Some(p.query.as_str())))
+            .collect();
+        let old = Mse::new(MseConfig::default())
+            .build_with_queries(&refs)
+            .unwrap();
+
+        let store = temp_store("promote");
+        let v1 = store
+            .save(
+                "engine4",
+                &old,
+                Provenance::from_samples(&["seed"], &old.cfg, "initial"),
+            )
+            .unwrap();
+        store.promote("engine4", v1).unwrap();
+
+        // Ring full of redesigned pages (stream past break_at).
+        let ring: Vec<(String, Option<String>)> = (1..9)
+            .map(|i| {
+                let p = scenario.page(i);
+                (p.html, Some(p.query))
+            })
+            .collect();
+        let outcome = relearn_into_store(&store, "engine4", &old, &ring, "after redesign").unwrap();
+        assert!(outcome.relearn.promote, "{:?}", outcome.relearn.new_score);
+        assert_eq!(outcome.saved_version, Some(2));
+        assert_eq!(store.active_version("engine4").unwrap(), Some(2));
+        let (_, record) = store.load("engine4", 2).unwrap();
+        assert_eq!(record.provenance.parent, Some(1));
+        assert_eq!(record.provenance.note, "after redesign");
+        assert_eq!(record.provenance.sample_hashes.len(), 4);
+    }
+
+    #[test]
+    fn losing_candidate_changes_nothing() {
+        let scenario = DriftScenario::new(2006, 4, 1000, 2000);
+        let samples = scenario.sample_pages(5);
+        let refs: Vec<(&str, Option<&str>)> = samples
+            .iter()
+            .map(|p| (p.html.as_str(), Some(p.query.as_str())))
+            .collect();
+        let old = Mse::new(MseConfig::default())
+            .build_with_queries(&refs)
+            .unwrap();
+
+        let store = temp_store("hold");
+        let v1 = store
+            .save(
+                "engine4",
+                &old,
+                Provenance::from_samples(&["seed"], &old.cfg, "initial"),
+            )
+            .unwrap();
+        store.promote("engine4", v1).unwrap();
+
+        // Ring of same-template pages: a fresh candidate can at best tie.
+        let ring: Vec<(String, Option<String>)> = (1..9)
+            .map(|i| {
+                let p = scenario.page(i);
+                (p.html, Some(p.query))
+            })
+            .collect();
+        let outcome = relearn_into_store(&store, "engine4", &old, &ring, "noop").unwrap();
+        assert!(!outcome.relearn.promote);
+        assert_eq!(outcome.saved_version, None);
+        assert_eq!(store.versions("engine4").unwrap(), vec![1]);
+        assert_eq!(store.active_version("engine4").unwrap(), Some(1));
+    }
+}

@@ -1,0 +1,106 @@
+//! Version provenance: what a stored wrapper set was built from.
+
+use mse_core::{DriftThresholds, MseConfig};
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a 64-bit content hash. Not cryptographic — provenance hashes
+/// answer "same bytes or not", not "tamper-proof"; the dependency-free
+/// workspace has no hash crates and needs none for that.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`content_hash`] as the fixed-width hex string used in file names and
+/// provenance records.
+pub fn hash_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", content_hash(bytes))
+}
+
+/// Everything recorded alongside a stored wrapper-set version.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Content hashes of the sample pages the set was induced from, in
+    /// training order.
+    pub sample_hashes: Vec<String>,
+    /// The full pipeline configuration the set was built with.
+    pub config: MseConfig,
+    /// The drift thresholds in force when this version was created.
+    pub thresholds: DriftThresholds,
+    /// The version this one was promoted over; `None` for a first
+    /// version. Rollback follows this chain.
+    pub parent: Option<u32>,
+    /// Free-form operator note ("initial build", "shadow re-learn after
+    /// Degrading verdict", ...).
+    pub note: String,
+    /// Seconds since the Unix epoch at save time; `None` when the caller
+    /// wants fully deterministic output (tests, golden files).
+    pub created_unix: Option<u64>,
+    /// Content hash of the interner snapshot stored with this version.
+    /// Filled in by [`Store::save`](crate::Store::save).
+    #[serde(default)]
+    pub interner_hash: String,
+}
+
+impl Provenance {
+    /// Provenance for a set induced from `samples` under `config`: hashes
+    /// the pages, snapshots config + thresholds, leaves `parent` empty.
+    pub fn from_samples<S: AsRef<str>>(
+        samples: &[S],
+        config: &MseConfig,
+        note: &str,
+    ) -> Provenance {
+        Provenance {
+            sample_hashes: samples
+                .iter()
+                .map(|s| hash_hex(s.as_ref().as_bytes()))
+                .collect(),
+            config: config.clone(),
+            thresholds: config.drift,
+            parent: None,
+            note: note.to_string(),
+            created_unix: now_unix(),
+            interner_hash: String::new(),
+        }
+    }
+}
+
+/// Wall-clock seconds since the Unix epoch; `None` if the clock is
+/// before the epoch (never on a sane system, but no panic either way).
+pub(crate) fn now_unix() -> Option<u64> {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()
+        .map(|d| d.as_secs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(content_hash(b"foobar"), 0x85944171f73967e8);
+        assert_eq!(hash_hex(b"foobar"), "85944171f73967e8");
+    }
+
+    #[test]
+    fn provenance_hashes_every_sample() {
+        let p = Provenance::from_samples(
+            &["<html>a</html>", "<html>b</html>"],
+            &MseConfig::default(),
+            "initial build",
+        );
+        assert_eq!(p.sample_hashes.len(), 2);
+        assert_ne!(p.sample_hashes[0], p.sample_hashes[1]);
+        assert_eq!(p.parent, None);
+        assert_eq!(p.thresholds, MseConfig::default().drift);
+    }
+}

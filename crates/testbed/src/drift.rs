@@ -1,0 +1,201 @@
+//! Drift simulation: an engine that redesigns its result-page template
+//! mid-stream.
+//!
+//! The paper motivates maintenance with engines changing their markup
+//! out from under a deployed wrapper (§1). A [`DriftScenario`] models
+//! exactly that: one engine identity with a *before* template and a
+//! redesigned *after* template, and a serving schedule that phases the
+//! redesign in — first not at all, then on every third page (a partial
+//! rollout / A-B test, the hardest case for drift detection), then
+//! everywhere. Feeding the schedule through a wrapper learned on the
+//! *before* template must walk `mse-core`'s drift verdict through
+//! Stable → Degrading → Broken with no truth labels involved.
+
+use crate::records::SectionStyle;
+use crate::spec::{EngineSpec, HeaderStyle};
+use crate::truth::GeneratedPage;
+
+/// Which template serves a given stream index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftPhase {
+    /// Only the original template serves.
+    Before,
+    /// Partial rollout: every third page is the redesign.
+    Mixed,
+    /// Only the redesign serves.
+    After,
+}
+
+/// One engine, two templates, and a phased rollout schedule.
+#[derive(Clone, Debug)]
+pub struct DriftScenario {
+    /// The template the wrapper was learned on.
+    pub before: EngineSpec,
+    /// The redesign: same engine identity (id / name / site / section
+    /// names), different section formats and headers.
+    pub after: EngineSpec,
+    /// First stream index at which redesigned pages appear (1-in-3).
+    pub degrade_at: usize,
+    /// First stream index from which *only* redesigned pages serve.
+    pub break_at: usize,
+}
+
+/// A template the learner is known to handle: no non-sibling record
+/// structure and no headerless sections (both are documented failure
+/// modes, not drift — a drift scenario must isolate the redesign).
+fn learnable(e: &EngineSpec) -> bool {
+    e.sections
+        .iter()
+        .all(|s| s.style != SectionStyle::PairedDivRecords && s.header != HeaderStyle::None)
+}
+
+/// A genuinely different layout for every section the engines share: the
+/// container markup itself must change (`<table>` → `<ul>`, …), not just
+/// the header or a cosmetic attribute. A wrapper keys on the container
+/// path and the record tag structure, and a learned container path
+/// resolves with sibling slack — a redesign that keeps the container
+/// intact can still be silently served, which is exactly NOT what a
+/// drift scenario should produce.
+fn differs(a: &EngineSpec, b: &EngineSpec) -> bool {
+    if a.sections.is_empty() || b.sections.is_empty() {
+        return false;
+    }
+    a.sections
+        .iter()
+        .zip(&b.sections)
+        .all(|(x, y)| x.style.open() != y.style.open())
+}
+
+impl DriftScenario {
+    /// Build a scenario for engine `engine_id`: the *before* template is
+    /// exactly [`EngineSpec::generate`]'s engine for `(seed, engine_id)`,
+    /// the *after* template is a deterministic redesign that keeps the
+    /// engine's identity but changes section formats. `break_at` is
+    /// clamped above `degrade_at` so the phases are always ordered.
+    pub fn new(seed: u64, engine_id: usize, degrade_at: usize, break_at: usize) -> DriftScenario {
+        let before = EngineSpec::generate(seed, engine_id);
+        let mut fallback: Option<EngineSpec> = None;
+        let mut chosen: Option<EngineSpec> = None;
+        for salt in 1..=64u64 {
+            let reseed = seed
+                ^ 0xD21F_u64
+                    .wrapping_add(salt)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut cand = EngineSpec::with_profile(reseed, engine_id, before.multi);
+            // The redesign is the same engine, re-rendered: keep its
+            // public identity and section names where they line up.
+            cand.id = before.id;
+            cand.name = before.name.clone();
+            cand.site = before.site.clone();
+            for (i, s) in cand.sections.iter_mut().enumerate() {
+                if let Some(bs) = before.sections.get(i) {
+                    s.name = bs.name.clone();
+                }
+            }
+            if learnable(&cand) && differs(&before, &cand) {
+                chosen = Some(cand);
+                break;
+            }
+            fallback.get_or_insert(cand);
+        }
+        // 64 independent draws all colliding with the before-layout AND
+        // all unlearnable is out of reach for the generator's style
+        // distribution; the fallback only guards the type system.
+        let after = chosen.or(fallback).unwrap_or_else(|| before.clone());
+        DriftScenario {
+            before,
+            after,
+            degrade_at,
+            break_at: break_at.max(degrade_at + 1),
+        }
+    }
+
+    /// The rollout phase of stream index `idx`.
+    pub fn phase(&self, idx: usize) -> DriftPhase {
+        if idx < self.degrade_at {
+            DriftPhase::Before
+        } else if idx < self.break_at {
+            DriftPhase::Mixed
+        } else {
+            DriftPhase::After
+        }
+    }
+
+    /// Whether stream index `idx` serves the redesigned template: always
+    /// in the After phase, every third page in the Mixed phase.
+    pub fn serves_redesign(&self, idx: usize) -> bool {
+        match self.phase(idx) {
+            DriftPhase::Before => false,
+            DriftPhase::Mixed => (idx - self.degrade_at).is_multiple_of(3),
+            DriftPhase::After => true,
+        }
+    }
+
+    /// The page served at stream index `idx`.
+    pub fn page(&self, idx: usize) -> GeneratedPage {
+        if self.serves_redesign(idx) {
+            self.after.page(idx)
+        } else {
+            self.before.page(idx)
+        }
+    }
+
+    /// Sample pages for learning the *before* wrapper. Query indices are
+    /// offset away from the serving stream so samples and stream pages
+    /// never coincide.
+    pub fn sample_pages(&self, n: usize) -> Vec<GeneratedPage> {
+        (0..n).map(|q| self.before.page(1000 + q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = DriftScenario::new(2006, 4, 10, 20);
+        let b = DriftScenario::new(2006, 4, 10, 20);
+        assert_eq!(a.before.name, b.before.name);
+        assert_eq!(a.page(0).html, b.page(0).html);
+        assert_eq!(a.page(15).html, b.page(15).html);
+        assert_eq!(a.page(25).html, b.page(25).html);
+    }
+
+    #[test]
+    fn redesign_keeps_identity_but_changes_layout() {
+        let s = DriftScenario::new(2006, 4, 10, 20);
+        assert_eq!(s.before.name, s.after.name);
+        assert_eq!(s.before.site, s.after.site);
+        assert_eq!(s.before.sections[0].name, s.after.sections[0].name);
+        assert!(differs(&s.before, &s.after));
+        assert!(learnable(&s.after));
+        assert_ne!(s.before.page(0).html, s.after.page(0).html);
+    }
+
+    #[test]
+    fn schedule_phases_in_the_redesign() {
+        let s = DriftScenario::new(2006, 4, 9, 18);
+        assert!((0..9).all(|i| !s.serves_redesign(i)));
+        let mixed: Vec<bool> = (9..18).map(|i| s.serves_redesign(i)).collect();
+        assert_eq!(mixed.iter().filter(|&&b| b).count(), 3, "{mixed:?}");
+        assert!((18..30).all(|i| s.serves_redesign(i)));
+        assert_eq!(s.phase(0), DriftPhase::Before);
+        assert_eq!(s.phase(9), DriftPhase::Mixed);
+        assert_eq!(s.phase(18), DriftPhase::After);
+    }
+
+    #[test]
+    fn break_at_is_clamped_after_degrade_at() {
+        let s = DriftScenario::new(2006, 4, 10, 5);
+        assert_eq!(s.break_at, 11);
+    }
+
+    #[test]
+    fn sample_pages_are_before_template() {
+        let s = DriftScenario::new(2006, 4, 10, 20);
+        let samples = s.sample_pages(5);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[0].html, s.before.page(1000).html);
+    }
+}

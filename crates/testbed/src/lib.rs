@@ -25,12 +25,14 @@
 )]
 
 pub mod corpus;
+pub mod drift;
 pub mod records;
 pub mod spec;
 pub mod truth;
 pub mod words;
 
 pub use corpus::{Corpus, CorpusConfig, CorpusStats};
+pub use drift::{DriftPhase, DriftScenario};
 pub use records::{build_record, BuiltRecord, SectionStyle};
 pub use spec::{EngineSpec, HeaderStyle, SectionSchemaSpec};
 pub use truth::{GeneratedPage, GroundTruth, GtRecord, GtSection, HR_LINE, IMG_LINE};

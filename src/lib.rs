@@ -37,6 +37,7 @@ pub use mse_core as core;
 pub use mse_dom as dom;
 pub use mse_eval as eval;
 pub use mse_render as render;
+pub use mse_store as store;
 pub use mse_testbed as testbed;
 pub use mse_treedit as treedit;
 
@@ -44,11 +45,15 @@ pub use mse_treedit as treedit;
 pub mod prelude {
     pub use mse_annotate::{annotate_extraction, AnnotationModel, Role};
     pub use mse_core::{
+        shadow_relearn, DriftThresholds, DriftTracker, DriftVerdict, HealthReport, RelearnOutcome,
+    };
+    pub use mse_core::{
         BuildError, Diagnostic, ExtractError, ExtractedSection, Extraction, Mse, MseConfig,
         MseError, ResourceBudget, SectionWrapperSet, Stage,
     };
     pub use mse_dom::{parse, parse_with_limits, Dom, DomError, ParseLimits};
     pub use mse_eval::{score_engine, CorpusScore};
     pub use mse_render::{render, RenderError, RenderedPage};
-    pub use mse_testbed::{Corpus, CorpusConfig, EngineSpec};
+    pub use mse_store::{relearn_into_store, Provenance, Store};
+    pub use mse_testbed::{Corpus, CorpusConfig, DriftScenario, EngineSpec};
 }

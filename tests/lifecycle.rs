@@ -1,0 +1,189 @@
+//! End-to-end wrapper lifecycle (ISSUE 7 acceptance): a simulated
+//! mid-stream template redesign is detected from the extraction
+//! diagnostics alone (no truth labels), a shadow-learned candidate is
+//! statically verified, beats the old set on a holdout split, is
+//! atomically promoted into the versioned store, and `store rollback`
+//! restores the prior version with byte-identical extractions.
+
+use mse::core::{score_on_holdout, DriftThresholds, DriftTracker, DriftVerdict, Mse, MseConfig};
+use mse::store::{relearn_into_store, Provenance, Store};
+use mse::testbed::DriftScenario;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mse-lifecycle-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn build_old(scenario: &DriftScenario) -> mse::core::SectionWrapperSet {
+    let samples = scenario.sample_pages(5);
+    let refs: Vec<(&str, Option<&str>)> = samples
+        .iter()
+        .map(|p| (p.html.as_str(), Some(p.query.as_str())))
+        .collect();
+    Mse::new(MseConfig::default())
+        .build_with_queries(&refs)
+        .expect("wrapper induction from before-template samples")
+}
+
+#[test]
+fn drift_relearn_promote_rollback_end_to_end() {
+    let scenario = DriftScenario::new(2006, 4, 12, 24);
+    let old = build_old(&scenario);
+
+    // v1: the learned set goes into the store and serves.
+    let dir = temp_dir("e2e");
+    let store = Store::open(&dir).expect("open store");
+    let samples = scenario.sample_pages(5);
+    let sample_html: Vec<&str> = samples.iter().map(|p| p.html.as_str()).collect();
+    let v1 = store
+        .save(
+            "engine4",
+            &old,
+            Provenance::from_samples(&sample_html, &old.cfg, "initial build"),
+        )
+        .expect("save v1");
+    store.promote("engine4", v1).expect("promote v1");
+
+    // Serve the drifting stream. The tracker sees ONLY the wrapper set's
+    // own extraction output — no ground truth enters the loop.
+    let thresholds = DriftThresholds {
+        window: 12,
+        min_observations: 6,
+        ring_capacity: 12,
+        ..DriftThresholds::default()
+    };
+    let mut tracker = DriftTracker::new(thresholds);
+    let mut verdicts = Vec::new();
+    for idx in 0..40 {
+        let page = scenario.page(idx);
+        let ex = old.extract_with_query(&page.html, Some(&page.query));
+        verdicts.push(tracker.observe(&old, &page.html, Some(&page.query), &ex));
+    }
+
+    // Stable while only the before-template serves, Degrading once the
+    // 1-in-3 rollout starts, Broken after the full redesign — strictly in
+    // that order.
+    assert_eq!(verdicts[11], DriftVerdict::Stable, "{verdicts:?}");
+    let first_degrading = verdicts
+        .iter()
+        .position(|v| *v == DriftVerdict::Degrading)
+        .expect("rollout phase must degrade the verdict");
+    let first_broken = verdicts
+        .iter()
+        .position(|v| *v == DriftVerdict::Broken)
+        .expect("full redesign must break the verdict");
+    assert!(first_degrading >= scenario.degrade_at, "{verdicts:?}");
+    assert!(first_degrading < first_broken, "{verdicts:?}");
+    assert!(
+        verdicts[..first_degrading]
+            .iter()
+            .all(|v| *v == DriftVerdict::Stable),
+        "{verdicts:?}"
+    );
+    assert_eq!(*verdicts.last().unwrap(), DriftVerdict::Broken);
+
+    // Shadow re-learn from the tracker's ring (now pure redesigned
+    // pages): verification-gated, holdout-compared, atomically promoted.
+    let ring = tracker.recent_pages();
+    assert_eq!(ring.len(), 12);
+    let outcome =
+        relearn_into_store(&store, "engine4", &old, &ring, "after redesign").expect("relearn");
+    assert!(outcome.relearn.promote, "{:?}", outcome.relearn.new_score);
+    assert!(outcome.relearn.new_score.beats(&outcome.relearn.old_score));
+    assert_eq!(outcome.saved_version, Some(2));
+    assert_eq!(store.active_version("engine4").unwrap(), Some(2));
+
+    // Provenance: the new version records v1 as parent, the training
+    // pages' hashes, and the config snapshot.
+    let (_, record) = store.load("engine4", 2).expect("load v2");
+    assert_eq!(record.provenance.parent, Some(1));
+    assert_eq!(record.provenance.sample_hashes.len(), 6);
+    assert_eq!(record.provenance.note, "after redesign");
+
+    // Restart simulation: a fresh Store handle loads the active version
+    // and extracts byte-identically to the in-memory candidate.
+    let store2 = Store::open(&dir).expect("reopen store");
+    let (active, reloaded, _) = store2.load_active("engine4").expect("load active");
+    assert_eq!(active, 2);
+    let probe = scenario.page(100); // After-phase page, unseen by training.
+    let want = outcome
+        .relearn
+        .candidate
+        .extract_with_query(&probe.html, Some(&probe.query));
+    let got = reloaded.extract_with_query(&probe.html, Some(&probe.query));
+    assert_eq!(
+        serde_json::to_string(&want).unwrap(),
+        serde_json::to_string(&got).unwrap(),
+        "store round trip must not change extraction output"
+    );
+    assert!(got.total_records() > 0, "candidate serves the redesign");
+
+    // Rollback: the parent chain restores v1, and v1 still extracts the
+    // before-template byte-identically to the original in-memory set.
+    assert_eq!(store2.rollback("engine4").unwrap(), 1);
+    let (active, rolled_back, _) = store2.load_active("engine4").expect("load after rollback");
+    assert_eq!(active, 1);
+    let before_page = scenario.before.page(3);
+    let want = old.extract_with_query(&before_page.html, Some(&before_page.query));
+    let got = rolled_back.extract_with_query(&before_page.html, Some(&before_page.query));
+    assert_eq!(
+        serde_json::to_string(&want).unwrap(),
+        serde_json::to_string(&got).unwrap(),
+        "rollback must restore the prior version byte-identically"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn holdout_comparison_rejects_worse_candidate() {
+    // A ring of before-template pages: the incumbent already serves them
+    // perfectly, so a re-learned candidate can at best tie — and ties do
+    // not promote. The store stays untouched.
+    let scenario = DriftScenario::new(2006, 4, 1_000, 2_000);
+    let old = build_old(&scenario);
+    let dir = temp_dir("reject");
+    let store = Store::open(&dir).expect("open store");
+    let v1 = store
+        .save(
+            "engine4",
+            &old,
+            Provenance::from_samples(&["seed"], &old.cfg, "initial"),
+        )
+        .expect("save v1");
+    store.promote("engine4", v1).expect("promote v1");
+
+    let ring: Vec<(String, Option<String>)> = (0..10)
+        .map(|i| {
+            let p = scenario.page(i);
+            (p.html, Some(p.query))
+        })
+        .collect();
+    let outcome = relearn_into_store(&store, "engine4", &old, &ring, "noop").expect("relearn");
+    assert!(!outcome.relearn.promote);
+    assert_eq!(outcome.saved_version, None);
+    assert_eq!(store.versions("engine4").unwrap(), vec![1]);
+    assert_eq!(store.active_version("engine4").unwrap(), Some(1));
+
+    // And directly: a stale set scores strictly worse than a fitting one
+    // on redesigned holdout pages, so `beats` orders them correctly.
+    let after_pages: Vec<_> = (0..6).map(|i| scenario.after.page(500 + i)).collect();
+    let holdout: Vec<(&str, Option<&str>)> = after_pages
+        .iter()
+        .map(|p| (p.html.as_str(), Some(p.query.as_str())))
+        .collect();
+    let after_refs: Vec<(&str, Option<&str>)> = after_pages[..4]
+        .iter()
+        .map(|p| (p.html.as_str(), Some(p.query.as_str())))
+        .collect();
+    let fitting = Mse::new(MseConfig::default())
+        .build_with_queries(&after_refs)
+        .expect("build on after-template");
+    let stale_score = score_on_holdout(&old, &holdout);
+    let fitting_score = score_on_holdout(&fitting, &holdout);
+    assert!(fitting_score.beats(&stale_score));
+    assert!(!stale_score.beats(&fitting_score));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
